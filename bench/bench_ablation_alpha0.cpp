@@ -1,0 +1,65 @@
+// Ablation A4: the gamma-type family beyond the Goel-Okumoto case the
+// paper evaluates.  VB2's algorithm covers any fixed alpha0 (Sec. 5.2);
+// here we check estimation quality when the model matches or mismatches
+// the generating process:
+//   * data from GO (alpha0=1) and from delayed S-shaped (alpha0=2),
+//   * each fitted with VB2 under alpha0 in {1, 2},
+//   * reliability prediction error against the generating truth.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/simulate.hpp"
+#include "nhpp/model.hpp"
+#include "random/rng.hpp"
+
+using namespace vbsrm;
+using namespace vbsrm::bench;
+
+namespace {
+
+void fit_and_report(const char* label, const data::FailureTimeData& ft,
+                    double fit_alpha0, const nhpp::GammaTypeModel& truth) {
+  const core::Vb2Estimator vb(fit_alpha0, ft, noinfo_priors());
+  const auto s = vb.posterior().summary();
+  const double te = ft.observation_end();
+  const double u = 0.1 * te;
+  const double r_true = truth.reliability(te, u);
+  const auto r_est = vb.posterior().reliability(u, 0.99);
+  const bool covered = r_true >= r_est.lower && r_true <= r_est.upper;
+  std::printf("%-26s %8.1f %10.2f %12.4e %9.4f %9.4f %9s\n", label,
+              fit_alpha0, s.mean_omega, s.mean_beta, r_est.point, r_true,
+              covered ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A4: model family (alpha0) match vs mismatch\n");
+  std::printf("%-26s %8s %10s %12s %9s %9s %9s\n", "data / fit", "alpha0",
+              "E[w]", "E[b]", "R_est", "R_true", "covered");
+  print_rule();
+
+  {
+    random::Rng rng(2121);
+    const auto go_truth = nhpp::goel_okumoto(120.0, 1.5e-3);
+    const auto ft = data::simulate_gamma_nhpp(rng, 120.0, 1.0, 1.5e-3,
+                                              1200.0);
+    fit_and_report("GO data, GO fit", ft, 1.0, go_truth);
+    fit_and_report("GO data, DSS fit", ft, 2.0, go_truth);
+  }
+  print_rule();
+  {
+    random::Rng rng(2122);
+    const auto dss_truth = nhpp::delayed_s_shaped(120.0, 3e-3);
+    const auto ft = data::simulate_gamma_nhpp(rng, 120.0, 2.0, 3e-3, 1500.0);
+    fit_and_report("DSS data, DSS fit", ft, 2.0, dss_truth);
+    fit_and_report("DSS data, GO fit", ft, 1.0, dss_truth);
+  }
+
+  std::printf("\nReading: matching alpha0 recovers omega and covers the true\n"
+              "reliability; mismatched alpha0 biases omega (GO absorbs the\n"
+              "DSS ramp-up into a larger beta / smaller omega and vice\n"
+              "versa), showing why the gamma-type generalization matters.\n");
+  return 0;
+}

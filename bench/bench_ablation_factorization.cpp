@@ -1,0 +1,80 @@
+// Ablation A1: the paper's core design choice — the structured
+// factorization Pv(T|N) Pv(mu|N) Pv(N) (VB2) versus the fully
+// factorized Pv(U) Pv(mu) (VB1, Eq. 15).
+//
+// Sweeps datasets (failure-time / grouped), prior strengths, and
+// censoring fractions, reporting how much posterior correlation and
+// variance each factorization retains relative to the MCMC reference.
+// The expected picture everywhere: VB1 has corr == 0 and a variance
+// ratio well below 1; VB2 tracks MCMC.
+#include <cmath>
+#include <cstdio>
+
+#include "bayes/gibbs.hpp"
+#include "bench_common.hpp"
+#include "core/vb1.hpp"
+#include "data/simulate.hpp"
+#include "random/rng.hpp"
+
+using namespace vbsrm;
+using namespace vbsrm::bench;
+
+namespace {
+
+void compare(const char* label, const data::FailureTimeData& dt,
+             const bayes::PriorPair& priors) {
+  const core::Vb2Estimator vb2(1.0, dt, priors);
+  const core::Vb1Estimator vb1(1.0, dt, priors);
+  bayes::McmcOptions mc;
+  mc.seed = 77;
+  mc.burn_in = 4000;
+  mc.thin = 4;
+  mc.samples = 10000;
+  const auto chain = bayes::gibbs_failure_times(1.0, dt, priors, mc);
+
+  const auto sm = chain.summary();
+  const auto s1 = vb1.posterior().summary();
+  const auto s2 = vb2.posterior().summary();
+  auto corr = [](const bayes::PosteriorSummary& s) {
+    return s.cov / std::sqrt(s.var_omega * s.var_beta);
+  };
+  std::printf("%-28s %8.3f %8.3f %8.3f %10.3f %10.3f\n", label, corr(sm),
+              corr(s1), corr(s2), s1.var_omega / sm.var_omega,
+              s2.var_omega / sm.var_omega);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A1: factorization structure (VB1 vs VB2)\n");
+  std::printf("%-28s %8s %8s %8s %10s %10s\n", "scenario", "corrMC",
+              "corrVB1", "corrVB2", "VarW1/MC", "VarW2/MC");
+  print_rule();
+
+  // 1) The System 17 stand-in under three prior strengths.
+  const auto dt = data::datasets::system17_failure_times();
+  compare("S17 informative", dt, info_priors_dt());
+  compare("S17 flat", dt, noinfo_priors());
+  {
+    bayes::PriorPair weak{bayes::GammaPrior::from_mean_sd(50.0, 50.0),
+                          bayes::GammaPrior::from_mean_sd(1e-5, 1e-5)};
+    compare("S17 weakly informative", dt, weak);
+  }
+
+  // 2) Censoring sweep: the earlier testing stops, the more latent mass
+  //    the factorization must model, and the worse VB1 gets.
+  for (double frac : {0.4, 0.7, 1.2}) {
+    random::Rng rng(1234);
+    // True GO(80, beta) with mean life 1/beta = 1000; horizon frac*1000.
+    const auto sim = data::simulate_gamma_nhpp(rng, 80.0, 1.0, 1e-3,
+                                               frac * 1000.0);
+    char label[64];
+    std::snprintf(label, sizeof label, "sim censor at %.1f lifetimes", frac);
+    compare(label, sim, noinfo_priors());
+  }
+
+  std::printf("\nReading: corrVB1 is structurally 0; VB2 keeps the MCMC\n"
+              "correlation and variance.  The gap widens as censoring\n"
+              "increases (more unobserved data for Pv(U) to mismodel).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared scaffolding for the reproduction benches: the paper's prior
+// scenarios, VB2-guided NINT boxes, wall-clock timing, and fixed-width
+// table printing with paper-vs-measured rows.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bayes/nint.hpp"
+#include "bayes/prior.hpp"
+#include "core/vb2.hpp"
+#include "data/datasets.hpp"
+
+namespace vbsrm::bench {
+
+/// The paper's "Info" priors (Sec. 6): good guesses for the parameters.
+inline bayes::PriorPair info_priors_dt() {
+  return {bayes::GammaPrior::from_mean_sd(50.0, 15.8),
+          bayes::GammaPrior::from_mean_sd(1.0e-5, 3.2e-6)};
+}
+
+inline bayes::PriorPair info_priors_dg() {
+  return {bayes::GammaPrior::from_mean_sd(50.0, 15.8),
+          bayes::GammaPrior::from_mean_sd(3.3e-2, 1.1e-2)};
+}
+
+/// The paper's "NoInfo" scenario: flat densities.
+inline bayes::PriorPair noinfo_priors() { return bayes::PriorPair::flat(); }
+
+/// The paper's NINT integration-box rule, driven by VB2 quantiles.
+inline bayes::Box nint_box_from_vb2(const core::Vb2Estimator& vb2) {
+  return bayes::Box::from_quantiles(vb2.posterior().quantile_omega(0.005),
+                                    vb2.posterior().quantile_omega(0.995),
+                                    vb2.posterior().quantile_beta(0.005),
+                                    vb2.posterior().quantile_beta(0.995));
+}
+
+/// Wall-clock seconds of a callable.
+template <typename F>
+double time_seconds(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_rule() {
+  std::printf("%s\n", std::string(78, '-').c_str());
+}
+
+/// Relative deviation in percent, formatted like the paper's tables.
+inline double rel_dev_pct(double value, double reference) {
+  if (reference == 0.0) return 0.0;
+  return 100.0 * (value - reference) / reference;
+}
+
+}  // namespace vbsrm::bench

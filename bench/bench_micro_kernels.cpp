@@ -1,0 +1,135 @@
+// Microbenchmarks (google-benchmark) for the numerical kernels that
+// dominate the estimators' cost profiles: incomplete gamma, digamma,
+// gamma quantile, samplers, the VB2 component solve, and one full VB2 /
+// Gibbs iteration.  These back the Table 6/7 analysis with per-kernel
+// numbers.
+#include <benchmark/benchmark.h>
+
+#include "bayes/gibbs.hpp"
+#include "bayes/prior.hpp"
+#include "core/vb2.hpp"
+#include "data/datasets.hpp"
+#include "math/specfun.hpp"
+#include "random/distributions.hpp"
+
+namespace m = vbsrm::math;
+using vbsrm::bayes::GammaPrior;
+using vbsrm::bayes::PriorPair;
+
+namespace {
+
+PriorPair info_dt() {
+  return {GammaPrior::from_mean_sd(50.0, 15.8),
+          GammaPrior::from_mean_sd(1e-5, 3.2e-6)};
+}
+
+void BM_LogGamma(benchmark::State& state) {
+  double x = 1.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m::log_gamma(x));
+    x += 0.37;
+    if (x > 500.0) x = 1.1;
+  }
+}
+BENCHMARK(BM_LogGamma);
+
+void BM_Digamma(benchmark::State& state) {
+  double x = 0.9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m::digamma(x));
+    x += 0.41;
+    if (x > 300.0) x = 0.9;
+  }
+}
+BENCHMARK(BM_Digamma);
+
+void BM_GammaP(benchmark::State& state) {
+  const double a = static_cast<double>(state.range(0));
+  double x = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m::gamma_p(a, x));
+    x += 0.73;
+    if (x > 4.0 * a + 20.0) x = 0.1;
+  }
+}
+BENCHMARK(BM_GammaP)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_InvGammaP(benchmark::State& state) {
+  const double a = static_cast<double>(state.range(0));
+  double p = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m::inv_gamma_p(a, p));
+    p += 0.0137;
+    if (p >= 0.99) p = 0.01;
+  }
+}
+BENCHMARK(BM_InvGammaP)->Arg(2)->Arg(48);
+
+void BM_SampleGamma(benchmark::State& state) {
+  vbsrm::random::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vbsrm::random::sample_gamma(rng, 9.77, 2.0));
+  }
+}
+BENCHMARK(BM_SampleGamma);
+
+void BM_SamplePoisson(benchmark::State& state) {
+  vbsrm::random::Rng rng(2);
+  const double mean = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vbsrm::random::sample_poisson(rng, mean));
+  }
+}
+BENCHMARK(BM_SamplePoisson)->Arg(5)->Arg(500);
+
+void BM_SampleTruncatedGammaInterval(benchmark::State& state) {
+  vbsrm::random::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vbsrm::random::sample_truncated_gamma(rng, 1.0, 2.6e-2, 17.0, 18.0));
+  }
+}
+BENCHMARK(BM_SampleTruncatedGammaInterval);
+
+void BM_Vb2ComponentSolveGrouped(benchmark::State& state) {
+  const auto dg = vbsrm::data::datasets::system17_grouped();
+  const PriorPair priors{GammaPrior::from_mean_sd(50.0, 15.8),
+                         GammaPrior::from_mean_sd(3.3e-2, 1.1e-2)};
+  const vbsrm::core::Vb2Estimator vb(1.0, dg, priors);
+  std::uint64_t n = 40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vb.solve_component(n));
+    n = 40 + (n + 7) % 80;
+  }
+}
+BENCHMARK(BM_Vb2ComponentSolveGrouped);
+
+void BM_Vb2FullFailureTimes(benchmark::State& state) {
+  const auto dt = vbsrm::data::datasets::system17_failure_times();
+  const auto priors = info_dt();
+  for (auto _ : state) {
+    const vbsrm::core::Vb2Estimator vb(1.0, dt, priors);
+    benchmark::DoNotOptimize(vb.posterior().summary());
+  }
+}
+BENCHMARK(BM_Vb2FullFailureTimes);
+
+void BM_GibbsFailureTimes1000(benchmark::State& state) {
+  const auto dt = vbsrm::data::datasets::system17_failure_times();
+  const auto priors = info_dt();
+  vbsrm::bayes::McmcOptions opt;
+  opt.burn_in = 0;
+  opt.thin = 1;
+  opt.samples = 1000;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    opt.seed = seed++;
+    benchmark::DoNotOptimize(
+        vbsrm::bayes::gibbs_failure_times(1.0, dt, priors, opt));
+  }
+}
+BENCHMARK(BM_GibbsFailureTimes1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Empirical Bayes across releases: learn the prior from completed
+// projects, then watch what it buys on a new release observed early.
+//
+// The paper's Info scenario assumes "good guesses" for the priors
+// exist; this example shows where they come from in practice — the
+// organization's own history — and how much interval width the learned
+// prior saves during the data-poor first weeks of testing.
+#include <cmath>
+#include <cstdio>
+
+#include "bayes/empirical.hpp"
+#include "core/vb2.hpp"
+#include "data/simulate.hpp"
+#include "random/rng.hpp"
+
+int main() {
+  using namespace vbsrm;
+
+  // Five completed releases of the same product line (simulated truth:
+  // omega drifting around ~100, per-fault hazard around 1.5e-3).
+  std::printf("-- historical releases --\n");
+  std::vector<data::FailureTimeData> history;
+  random::Rng master(20260708);
+  for (int k = 0; k < 5; ++k) {
+    random::Rng rng = master.split(static_cast<std::uint64_t>(k));
+    const double omega = 85.0 + 30.0 * rng.next_double();
+    const double beta = 1.5e-3 * (0.8 + 0.4 * rng.next_double());
+    auto project = data::simulate_gamma_nhpp(rng, omega, 1.0, beta, 2200.0);
+    std::printf("release %d: %zu failures (truth omega=%.0f)\n", k + 1,
+                project.count(), omega);
+    history.push_back(std::move(project));
+  }
+
+  const auto eb = bayes::empirical_bayes_priors(1.0, history);
+  std::printf("\nlearned priors (type-II ML over the history):\n");
+  std::printf("  omega ~ %s\n", eb.priors.omega.describe().c_str());
+  std::printf("  beta  ~ %s\n", eb.priors.beta.describe().c_str());
+
+  // A new release, observed only through its first few weeks.
+  random::Rng rng(424242);
+  const double omega_true = 110.0, beta_true = 1.4e-3;
+  const auto full =
+      data::simulate_gamma_nhpp(rng, omega_true, 1.0, beta_true, 2200.0);
+
+  std::printf("\n-- new release (truth omega=%.0f): interval width as data "
+              "accumulates --\n",
+              omega_true);
+  std::printf("%-12s %26s %26s\n", "observed", "flat prior",
+              "empirical-Bayes prior");
+  for (double frac : {0.15, 0.3, 0.5, 1.0}) {
+    const double te = frac * 2200.0;
+    std::vector<double> seen;
+    for (double t : full.times()) {
+      if (t <= te) seen.push_back(t);
+    }
+    if (seen.size() < 3) continue;
+    const data::FailureTimeData prefix(std::move(seen), te);
+    const core::Vb2Estimator flat(1.0, prefix, bayes::PriorPair::flat());
+    const core::Vb2Estimator learned(1.0, prefix, eb.priors);
+    const auto io_f = flat.posterior().interval_omega(0.95);
+    const auto io_l = learned.posterior().interval_omega(0.95);
+    std::printf("%5zu fails   [%8.1f, %9.1f]       [%8.1f, %9.1f]\n",
+                prefix.count(), io_f.lower, io_f.upper, io_l.lower,
+                io_l.upper);
+  }
+  std::printf("\nreading: early in testing the learned prior narrows the\n"
+              "interval dramatically without excluding the truth; once the\n"
+              "data dominates, both agree (the prior washes out).\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Full failure-time-data workflow on the NTDS data (Jelinski & Moranda
+// 1972): trend test, model selection between Goel-Okumoto and delayed
+// S-shaped via MLE + AIC, goodness of fit, then Bayesian interval
+// estimation with VB2 cross-checked against MCMC, and release-readiness
+// predictions.
+#include <cmath>
+#include <cstdio>
+
+#include "bayes/gibbs.hpp"
+#include "bayes/prior.hpp"
+#include "core/vb2.hpp"
+#include "data/datasets.hpp"
+#include "nhpp/fit.hpp"
+#include "nhpp/likelihood.hpp"
+#include "nhpp/prediction.hpp"
+#include "nhpp/trend.hpp"
+
+int main() {
+  using namespace vbsrm;
+  const auto data = data::datasets::ntds_failure_times();
+  std::printf("NTDS data: %zu failures in %.0f days\n", data.count(),
+              data.observation_end());
+
+  // 1) Is there reliability growth at all?  (Laplace factor << 0.)
+  const double lt = nhpp::laplace_trend(data);
+  std::printf("Laplace trend factor: %.2f (%s)\n", lt,
+              lt < -1.96 ? "significant reliability growth"
+                         : "no significant growth");
+
+  // 2) Model selection by AIC across the gamma-type family.
+  double best_aic = 1e300;
+  double best_alpha0 = 1.0;
+  for (double alpha0 : {1.0, 2.0, 3.0}) {
+    const auto fit = nhpp::fit_em(alpha0, data);
+    const double a = nhpp::aic(fit.log_likelihood);
+    const auto ks = nhpp::ks_fit_test(fit.model(alpha0), data);
+    std::printf("alpha0=%.0f: MLE omega=%.1f beta=%.4g  logL=%.2f AIC=%.2f "
+                "KS p=%.3f\n",
+                alpha0, fit.omega, fit.beta, fit.log_likelihood, a,
+                ks.p_value);
+    if (a < best_aic) {
+      best_aic = a;
+      best_alpha0 = alpha0;
+    }
+  }
+  std::printf("selected model: alpha0 = %.0f\n", best_alpha0);
+
+  // 3) Bayesian interval estimation (flat priors: let the data speak).
+  const core::Vb2Estimator vb2(best_alpha0, data, bayes::PriorPair::flat());
+  const auto& post = vb2.posterior();
+  const auto s = post.summary();
+  const auto io = post.interval_omega(0.95);
+  std::printf("\nVB2 posterior: E[omega]=%.1f, 95%% interval [%.1f, %.1f]\n",
+              s.mean_omega, io.lower, io.upper);
+  std::printf("expected residual faults: %.1f\n",
+              post.mean_total_faults() - static_cast<double>(data.count()));
+
+  // Cross-check with MCMC (Gibbs, 10000 samples).
+  bayes::McmcOptions mc;
+  mc.burn_in = 5000;
+  mc.thin = 5;
+  mc.samples = 10000;
+  mc.seed = 7;
+  const auto chain = bayes::gibbs_failure_times(best_alpha0, data,
+                                                bayes::PriorPair::flat(), mc);
+  std::printf("MCMC cross-check: E[omega]=%.1f (VB2 %.1f)\n",
+              chain.summary().mean_omega, s.mean_omega);
+
+  // 4) Release-readiness: reliability over the next 10 days, and the
+  //    further test time needed to reach a 90% 10-day reliability.
+  const auto r = post.reliability(10.0, 0.95);
+  std::printf("\nR(+10 days) = %.3f, 95%% interval [%.3f, %.3f]\n", r.point,
+              r.lower, r.upper);
+
+  const auto mle = nhpp::fit_em(best_alpha0, data);
+  const auto model = mle.model(best_alpha0);
+  const double wait = nhpp::test_time_for_reliability(
+      model, data.observation_end(), 10.0, 0.90, 3650.0);
+  if (std::isfinite(wait)) {
+    std::printf("extra test time to reach 90%% 10-day reliability: %.0f days\n",
+                wait);
+  } else {
+    std::printf("90%% 10-day reliability not reachable within 10 years\n");
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Grouped-data workflow: daily failure counts are what real test teams
+// usually record (the paper's motivation for extending VB to grouped
+// data).  This example analyzes the 64-day System 17 stand-in:
+// goodness of fit, the effect of prior information, and day-by-day
+// reliability growth retrodiction.
+#include <cstdio>
+
+#include "bayes/prior.hpp"
+#include "core/vb2.hpp"
+#include "data/datasets.hpp"
+#include "nhpp/fit.hpp"
+#include "nhpp/trend.hpp"
+
+int main() {
+  using namespace vbsrm;
+  const auto data = data::datasets::system17_grouped();
+  std::printf("grouped data: %zu failures across %zu working days\n",
+              data.total_failures(), data.intervals());
+
+  // A quick look at the count profile.
+  std::printf("daily counts: ");
+  for (std::size_t i = 0; i < data.intervals(); ++i) {
+    std::printf("%zu", data.counts()[i]);
+  }
+  std::printf("\n");
+
+  // Goodness of fit of the Goel-Okumoto model (the paper notes D_G fits
+  // GO worse than D_T does — which drives the NoInfo instability).
+  const auto mle = nhpp::fit_em(1.0, data);
+  const auto chi = nhpp::chi_square_fit_test(mle.model(1.0), data);
+  std::printf("GO MLE: omega=%.1f beta=%.4g; chi2=%.1f (dof %d, p=%.3f)\n",
+              mle.omega, mle.beta, chi.statistic, chi.dof, chi.p_value);
+
+  // Interval estimation under three prior scenarios.
+  struct Scenario {
+    const char* name;
+    bayes::PriorPair priors;
+  };
+  const Scenario scenarios[] = {
+      {"informative (good guess)",
+       {bayes::GammaPrior::from_mean_sd(50.0, 15.8),
+        bayes::GammaPrior::from_mean_sd(3.3e-2, 1.1e-2)}},
+      {"weak",
+       {bayes::GammaPrior::from_mean_sd(50.0, 50.0),
+        bayes::GammaPrior::from_mean_sd(3.3e-2, 3.3e-2)}},
+      {"flat (none)", bayes::PriorPair::flat()},
+  };
+  std::printf("\n%-26s %10s %22s %14s\n", "prior", "E[omega]",
+              "99% interval (omega)", "E[resid]");
+  for (const auto& sc : scenarios) {
+    const core::Vb2Estimator vb2(1.0, data, sc.priors);
+    const auto s = vb2.posterior().summary();
+    const auto io = vb2.posterior().interval_omega(0.99);
+    std::printf("%-26s %10.1f      [%7.1f, %8.1f] %14.1f\n", sc.name,
+                s.mean_omega, io.lower, io.upper,
+                vb2.posterior().mean_total_faults() -
+                    static_cast<double>(data.total_failures()));
+  }
+  std::printf("(note how the interval explodes without prior information —\n"
+              " the grouped data alone cannot pin down omega; paper Sec. 6)\n");
+
+  // Retrodiction: one-day-ahead reliability at selected checkpoints,
+  // refitting on the data observed so far.
+  std::printf("\n%-10s %10s %16s\n", "after day", "R(+1 day)", "99% interval");
+  const auto priors = scenarios[0].priors;
+  for (std::size_t day : {16u, 32u, 48u, 64u}) {
+    std::vector<double> bounds(data.boundaries().begin(),
+                               data.boundaries().begin() + day);
+    std::vector<std::size_t> counts(data.counts().begin(),
+                                    data.counts().begin() + day);
+    const data::GroupedData prefix(std::move(bounds), std::move(counts));
+    const core::Vb2Estimator vb2(1.0, prefix, priors);
+    const auto r = vb2.posterior().reliability(1.0, 0.99);
+    std::printf("%-10zu %10.3f   [%.3f, %.3f]\n", day, r.point, r.lower,
+                r.upper);
+  }
+  std::printf("(reliability grows as testing removes faults)\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Model zoo tour: fit every registered NHPP family to a data set,
+// rank by AIC, cross-check the winner with sequential (prequential)
+// assessment, and show how disagreeing models disagree most where it
+// matters — in the tail predictions.
+#include <cmath>
+#include <cstdio>
+
+#include "data/datasets.hpp"
+#include "nhpp/assessment.hpp"
+#include "nhpp/families.hpp"
+
+int main() {
+  using namespace vbsrm;
+  namespace fam = nhpp::families;
+
+  const auto dt = data::datasets::system17_failure_times();
+  std::printf("data: %zu failures on (0, %.0f]\n\n", dt.count(),
+              dt.observation_end());
+
+  std::printf("-- AIC ranking across the family zoo --\n");
+  std::printf("%-14s %10s %12s %10s   %s\n", "family", "omega", "logL",
+              "AIC", "parameters");
+  const auto ranking = fam::rank_families(dt);
+  for (const auto& fit : ranking) {
+    std::printf("%-14s %10.2f %12.3f %10.2f   %s\n",
+                fit.family->name().c_str(), fit.omega, fit.log_likelihood,
+                fit.aic, fit.family->describe(fit.working).c_str());
+  }
+
+  // Tail disagreement: expected residual faults omega*(1 - F(te)) per
+  // family — models that fit the observed window equally well can still
+  // disagree sharply about what remains.
+  std::printf("\n-- expected residual faults by family --\n");
+  for (const auto& fit : ranking) {
+    const double resid =
+        fit.omega * (1.0 - fit.family->cdf(dt.observation_end(), fit.working));
+    std::printf("%-14s %8.1f\n", fit.family->name().c_str(), resid);
+  }
+
+  // Prequential cross-check of the gamma-type members (one-step-ahead
+  // predictive quality, independent of AIC).
+  std::printf("\n-- prequential ranking of gamma-type shapes --\n");
+  for (const auto& [alpha0, pll] :
+       nhpp::prequential_ranking({1.0, 2.0, 3.0}, dt, 8)) {
+    const auto a = nhpp::assess_one_step_ahead(alpha0, dt, 8);
+    std::printf("alpha0=%.0f: prequential logL = %.2f, u-plot KS p = %.3f\n",
+                alpha0, pll, a.u_plot_pvalue);
+  }
+
+  std::printf("\nreading: AIC measures in-window fit; the residual-fault\n"
+              "column shows why model choice matters for release decisions;\n"
+              "prequential assessment scores the models on honest\n"
+              "one-step-ahead prediction.\n");
+  return 0;
+}

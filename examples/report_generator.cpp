@@ -1,0 +1,104 @@
+// Generate a complete markdown reliability report for a data set:
+// trend test -> model-family ranking -> sequential assessment ->
+// Bayesian posterior (VB2) -> release predictions.  Demonstrates how
+// the library's pieces compose into the artifact a test manager reads.
+//
+//   report_generator [output.md]      (default: reliability_report.md)
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "bayes/prior.hpp"
+#include "core/predictive.hpp"
+#include "core/vb2.hpp"
+#include "data/datasets.hpp"
+#include "nhpp/assessment.hpp"
+#include "nhpp/families.hpp"
+#include "nhpp/fit.hpp"
+#include "nhpp/trend.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vbsrm;
+  const char* path = argc > 1 ? argv[1] : "reliability_report.md";
+  std::ofstream md(path);
+  if (!md) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+
+  const auto data = data::datasets::system17_failure_times();
+  const bayes::PriorPair priors{bayes::GammaPrior::from_mean_sd(50.0, 15.8),
+                                bayes::GammaPrior::from_mean_sd(1e-5, 3.2e-6)};
+
+  md << "# Software reliability report\n\n";
+  md << "Data: " << data.count() << " failures observed over "
+     << data.observation_end() << " seconds of system test.\n\n";
+
+  // 1. Trend.
+  const double trend = nhpp::laplace_trend(data);
+  md << "## 1. Reliability trend\n\nLaplace factor: " << trend << " — "
+     << (trend < -1.96 ? "significant reliability growth; growth models "
+                         "are applicable.\n\n"
+                       : "no significant growth; treat model outputs with "
+                         "caution.\n\n");
+
+  // 2. Model selection.
+  md << "## 2. Model-family ranking (AIC)\n\n"
+     << "| family | omega | logL | AIC |\n|---|---|---|---|\n";
+  const auto ranking = nhpp::families::rank_families(data);
+  for (const auto& fit : ranking) {
+    md << "| " << fit.family->describe(fit.working) << " | " << fit.omega
+       << " | " << fit.log_likelihood << " | " << fit.aic << " |\n";
+  }
+  md << "\nSelected: **" << ranking.front().family->name() << "**.\n\n";
+
+  // 3. Honest one-step-ahead check of the gamma-type candidates.
+  md << "## 3. Sequential predictive assessment\n\n"
+     << "| alpha0 | prequential logL | u-plot KS p |\n|---|---|---|\n";
+  for (double a0 : {1.0, 2.0}) {
+    const auto a = nhpp::assess_one_step_ahead(a0, data, 8);
+    md << "| " << a0 << " | " << a.prequential_log_likelihood << " | "
+       << a.u_plot_pvalue << " |\n";
+  }
+  md << "\n";
+
+  // 4. Bayesian interval estimation (VB2, Goel-Okumoto).
+  const core::Vb2Estimator vb2(1.0, data, priors);
+  const auto& post = vb2.posterior();
+  const auto s = post.summary();
+  const auto io = post.interval_omega(0.99);
+  const auto ib = post.interval_beta(0.99);
+  md << "## 4. Bayesian estimates (VB2, Goel-Okumoto)\n\n"
+     << "| quantity | mean | 99% interval |\n|---|---|---|\n"
+     << "| total faults omega | " << s.mean_omega << " | [" << io.lower
+     << ", " << io.upper << "] |\n"
+     << "| per-fault hazard beta | " << s.mean_beta << " | [" << ib.lower
+     << ", " << ib.upper << "] |\n\n";
+
+  const auto res = core::ResidualFaultDistribution::from_posterior(post);
+  md << "Residual faults: mean " << res.mean() << ", P(at most "
+     << res.quantile(0.9) << ") >= 90%.\n\n";
+
+  // 5. Predictions.
+  md << "## 5. Predictions\n\n"
+     << "| window u (s) | R(te+u|te) | 99% interval | E[failures] | 99% "
+        "count interval |\n|---|---|---|---|---|\n";
+  for (double u : {1000.0, 10000.0, 50000.0}) {
+    const auto r = post.reliability(u, 0.99);
+    const core::PredictiveDistribution pred(post, u);
+    const auto [lo, hi] = pred.interval(0.99);
+    md << "| " << u << " | " << r.point << " | [" << r.lower << ", "
+       << r.upper << "] | " << pred.mean() << " | [" << lo << ", " << hi
+       << "] |\n";
+  }
+  md << "\n(method: VB2 variational posterior — matches MCMC/numerical "
+        "integration to a few %, at negligible cost; see EXPERIMENTS.md)\n";
+
+  md.close();
+  std::printf("wrote %s\n", path);
+  // Echo the report so the example is self-contained on stdout.
+  std::ifstream back(path);
+  std::string line;
+  while (std::getline(back, line)) std::printf("%s\n", line.c_str());
+  return 0;
+}

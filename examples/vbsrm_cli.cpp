@@ -1,0 +1,215 @@
+// vbsrm_cli — command-line front end for the library.
+//
+//   vbsrm_cli fit      <times.csv> <t_e> [--alpha0 A] [--prior-omega M SD]
+//                                        [--prior-beta M SD] [--level L]
+//   vbsrm_cli grouped  <counts.csv>      [same options]
+//   vbsrm_cli predict  <times.csv> <t_e> <u> [same options]
+//   vbsrm_cli compare  <times.csv> <t_e>
+//   vbsrm_cli demo
+//
+// CSV formats: `fit`/`predict` read one failure time per line ('#'
+// comments allowed); `grouped` reads "boundary,count" lines.
+// Without --prior-* options, flat priors are used.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bayes/prior.hpp"
+#include "core/predictive.hpp"
+#include "core/vb2.hpp"
+#include "data/datasets.hpp"
+#include "data/failure_data.hpp"
+#include "nhpp/families.hpp"
+#include "nhpp/fit.hpp"
+#include "nhpp/trend.hpp"
+
+using namespace vbsrm;
+
+namespace {
+
+struct Options {
+  double alpha0 = 1.0;
+  double level = 0.99;
+  std::optional<std::pair<double, double>> prior_omega;
+  std::optional<std::pair<double, double>> prior_beta;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: vbsrm_cli fit <times.csv> <t_e> [options]\n"
+               "       vbsrm_cli grouped <counts.csv> [options]\n"
+               "       vbsrm_cli predict <times.csv> <t_e> <u> [options]\n"
+               "       vbsrm_cli compare <times.csv> <t_e>\n"
+               "       vbsrm_cli demo\n"
+               "options: --alpha0 A --prior-omega MEAN SD --prior-beta MEAN "
+               "SD --level L\n");
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv, int first) {
+  Options o;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](int k) {
+      if (i + k >= argc) usage();
+    };
+    if (a == "--alpha0") {
+      need(1);
+      o.alpha0 = std::atof(argv[++i]);
+    } else if (a == "--level") {
+      need(1);
+      o.level = std::atof(argv[++i]);
+    } else if (a == "--prior-omega") {
+      need(2);
+      const double m = std::atof(argv[++i]);
+      const double s = std::atof(argv[++i]);
+      o.prior_omega = {m, s};
+    } else if (a == "--prior-beta") {
+      need(2);
+      const double m = std::atof(argv[++i]);
+      const double s = std::atof(argv[++i]);
+      o.prior_beta = {m, s};
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      usage();
+    }
+  }
+  if (!(o.alpha0 > 0.0) || !(o.level > 0.0) || !(o.level < 1.0)) usage();
+  return o;
+}
+
+bayes::PriorPair priors_from(const Options& o) {
+  bayes::PriorPair p = bayes::PriorPair::flat();
+  if (o.prior_omega) {
+    p.omega = bayes::GammaPrior::from_mean_sd(o.prior_omega->first,
+                                              o.prior_omega->second);
+  }
+  if (o.prior_beta) {
+    p.beta = bayes::GammaPrior::from_mean_sd(o.prior_beta->first,
+                                             o.prior_beta->second);
+  }
+  return p;
+}
+
+data::FailureTimeData load_times(const char* path, double te) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  return data::FailureTimeData::from_csv(in, te);
+}
+
+template <typename Posterior>
+void report_posterior(const Posterior& post, double level) {
+  const auto s = post.summary();
+  const auto io = post.interval_omega(level);
+  const auto ib = post.interval_beta(level);
+  std::printf("posterior means : omega = %.4g, beta = %.4g\n", s.mean_omega,
+              s.mean_beta);
+  std::printf("posterior sds   : omega = %.4g, beta = %.4g (corr %.3f)\n",
+              std::sqrt(s.var_omega), std::sqrt(s.var_beta),
+              s.cov / std::sqrt(s.var_omega * s.var_beta));
+  std::printf("%.0f%% interval   : omega in [%.4g, %.4g]\n", 100 * level,
+              io.lower, io.upper);
+  std::printf("%.0f%% interval   : beta  in [%.4g, %.4g]\n", 100 * level,
+              ib.lower, ib.upper);
+  const auto res = core::ResidualFaultDistribution::from_posterior(post);
+  std::printf("residual faults : mean %.2f, P(<=%llu) >= 90%%\n", res.mean(),
+              static_cast<unsigned long long>(res.quantile(0.9)));
+}
+
+int cmd_fit(int argc, char** argv) {
+  if (argc < 4) usage();
+  const auto opts = parse_options(argc, argv, 4);
+  const auto dt = load_times(argv[2], std::atof(argv[3]));
+  std::printf("loaded %zu failure times on (0, %g]\n", dt.count(),
+              dt.observation_end());
+  if (dt.count() >= 2) {
+    std::printf("Laplace trend   : %.2f (negative = reliability growth)\n",
+                nhpp::laplace_trend(dt));
+  }
+  const core::Vb2Estimator vb2(opts.alpha0, dt, priors_from(opts));
+  report_posterior(vb2.posterior(), opts.level);
+  return 0;
+}
+
+int cmd_grouped(int argc, char** argv) {
+  if (argc < 3) usage();
+  const auto opts = parse_options(argc, argv, 3);
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 1;
+  }
+  const auto dg = data::GroupedData::from_csv(in);
+  std::printf("loaded %zu failures over %zu intervals ending at %g\n",
+              dg.total_failures(), dg.intervals(), dg.observation_end());
+  const core::Vb2Estimator vb2(opts.alpha0, dg, priors_from(opts));
+  report_posterior(vb2.posterior(), opts.level);
+  return 0;
+}
+
+int cmd_predict(int argc, char** argv) {
+  if (argc < 5) usage();
+  const auto opts = parse_options(argc, argv, 5);
+  const auto dt = load_times(argv[2], std::atof(argv[3]));
+  const double u = std::atof(argv[4]);
+  const core::Vb2Estimator vb2(opts.alpha0, dt, priors_from(opts));
+  const auto r = vb2.posterior().reliability(u, opts.level);
+  std::printf("R(te+%g | te) = %.4f, %.0f%% interval [%.4f, %.4f]\n", u,
+              r.point, 100 * opts.level, r.lower, r.upper);
+  const core::PredictiveDistribution pred(vb2.posterior(), u);
+  const auto [lo, hi] = pred.interval(opts.level);
+  std::printf("failures in window: mean %.2f, %.0f%% interval [%llu, %llu]\n",
+              pred.mean(), 100 * opts.level,
+              static_cast<unsigned long long>(lo),
+              static_cast<unsigned long long>(hi));
+  return 0;
+}
+
+int cmd_compare(int argc, char** argv) {
+  if (argc < 4) usage();
+  const auto dt = load_times(argv[2], std::atof(argv[3]));
+  std::printf("%-14s %10s %14s %10s   parameters\n", "family", "omega",
+              "logL", "AIC");
+  for (const auto& fit : nhpp::families::rank_families(dt)) {
+    std::printf("%-14s %10.2f %14.3f %10.2f   %s\n",
+                fit.family->name().c_str(), fit.omega, fit.log_likelihood,
+                fit.aic, fit.family->describe(fit.working).c_str());
+  }
+  return 0;
+}
+
+int cmd_demo() {
+  std::printf("demo: bundled synthetic System 17 failure-time data\n\n");
+  const auto dt = data::datasets::system17_failure_times();
+  const bayes::PriorPair priors{bayes::GammaPrior::from_mean_sd(50.0, 15.8),
+                                bayes::GammaPrior::from_mean_sd(1e-5, 3.2e-6)};
+  const core::Vb2Estimator vb2(1.0, dt, priors);
+  report_posterior(vb2.posterior(), 0.99);
+  const auto r = vb2.posterior().reliability(1000.0, 0.99);
+  std::printf("R(te+1000 | te) : %.4f [%.4f, %.4f]\n", r.point, r.lower,
+              r.upper);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  if (cmd == "fit") return cmd_fit(argc, argv);
+  if (cmd == "grouped") return cmd_grouped(argc, argv);
+  if (cmd == "predict") return cmd_predict(argc, argv);
+  if (cmd == "compare") return cmd_compare(argc, argv);
+  if (cmd == "demo") return cmd_demo();
+  usage();
+}

@@ -1,0 +1,56 @@
+#include "bayes/chain.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "stats/diagnostics.hpp"
+#include "stats/quantiles.hpp"
+
+namespace vbsrm::bayes {
+
+ChainResult::ChainResult(std::vector<double> omega, std::vector<double> beta,
+                         double alpha0, double horizon, std::size_t variates)
+    : omega_(std::move(omega)), beta_(std::move(beta)), alpha0_(alpha0),
+      horizon_(horizon), variates_(variates) {
+  if (omega_.size() != beta_.size() || omega_.empty()) {
+    throw std::invalid_argument("ChainResult: chains empty or mismatched");
+  }
+}
+
+PosteriorSummary ChainResult::summary() const {
+  return {stats::mean(omega_), stats::mean(beta_), stats::variance(omega_),
+          stats::variance(beta_), stats::covariance(omega_, beta_)};
+}
+
+CredibleInterval ChainResult::interval_omega(double level) const {
+  const double a = 0.5 * (1.0 - level);
+  return {stats::order_statistic_quantile(omega_, a),
+          stats::order_statistic_quantile(omega_, 1.0 - a), level};
+}
+
+CredibleInterval ChainResult::interval_beta(double level) const {
+  const double a = 0.5 * (1.0 - level);
+  return {stats::order_statistic_quantile(beta_, a),
+          stats::order_statistic_quantile(beta_, 1.0 - a), level};
+}
+
+ReliabilityEstimate ChainResult::reliability(double u, double level) const {
+  const nhpp::GammaFailureLaw law{alpha0_};
+  std::vector<double> r;
+  r.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    const double h = law.interval_mass(horizon_, horizon_ + u, beta_[i]);
+    r.push_back(std::exp(-omega_[i] * h));
+  }
+  const double a = 0.5 * (1.0 - level);
+  return {stats::mean(r), stats::order_statistic_quantile(r, a),
+          stats::order_statistic_quantile(r, 1.0 - a), level};
+}
+
+std::pair<double, double> ChainResult::effective_sample_sizes() const {
+  return {stats::effective_sample_size(omega_),
+          stats::effective_sample_size(beta_)};
+}
+
+}  // namespace vbsrm::bayes

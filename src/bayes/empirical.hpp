@@ -1,0 +1,49 @@
+// Empirical Bayes: estimate the gamma prior hyperparameters from
+// historical projects.  The paper's "Info" scenario assumes a good
+// guess for the priors exists; this module manufactures that guess from
+// data of *previous releases/projects* by maximizing the summed Laplace
+// model evidence
+//   sum_k log P(D_k | m_w, phi_w, m_b, phi_b)
+// over the four hyperparameters (type-II maximum likelihood).
+#pragma once
+
+#include <vector>
+
+#include "bayes/prior.hpp"
+#include "data/failure_data.hpp"
+
+namespace vbsrm::bayes {
+
+struct EmpiricalBayesOptions {
+  /// Starting guess; default derives moment-matched values from the
+  /// projects' individual MLE fits.
+  PriorPair start{};
+  bool use_default_start = true;
+  int max_iterations = 4000;
+  /// Floor on the learned priors' coefficient of variation (sd/mean).
+  /// Type-II ML is known to collapse the hyper-variance to zero when
+  /// the between-project spread is comparable to the within-project
+  /// uncertainty; the floor (gamma shape <= 1/min_cv^2) keeps the
+  /// learned prior honest for the *next* project.
+  double min_cv = 0.2;
+};
+
+struct EmpiricalBayesResult {
+  PriorPair priors;
+  double log_marginal = 0.0;  // summed evidence at the optimum
+  bool converged = false;
+};
+
+/// Fit hyperpriors to a set of failure-time projects sharing alpha0.
+/// Needs >= 2 projects (one project cannot identify 4 hyperparameters).
+EmpiricalBayesResult empirical_bayes_priors(
+    double alpha0, const std::vector<data::FailureTimeData>& projects,
+    const EmpiricalBayesOptions& opt = {});
+
+/// Summed Laplace evidence of the projects under the given priors
+/// (exposed for tests and custom optimizers).
+double total_log_marginal(double alpha0,
+                          const std::vector<data::FailureTimeData>& projects,
+                          const PriorPair& priors);
+
+}  // namespace vbsrm::bayes

@@ -1,0 +1,65 @@
+#include "bayes/metropolis.hpp"
+
+#include <cmath>
+
+#include "random/distributions.hpp"
+
+namespace vbsrm::bayes {
+
+MhResult metropolis(const LogPosterior& posterior, const MhOptions& opt) {
+  random::Rng rng(opt.mcmc.seed);
+
+  double lo = std::log(1.3 * static_cast<double>(posterior.failures()) + 1.0);
+  double lb = std::log(posterior.alpha0() / (0.6 * posterior.horizon()));
+  // Log-space target includes the Jacobian omega*beta of the transform.
+  auto log_target = [&](double x, double y) {
+    return posterior(std::exp(x), std::exp(y)) + x + y;
+  };
+  double lt = log_target(lo, lb);
+
+  double step = opt.step;
+  std::size_t accepted = 0, proposed = 0;
+  const std::size_t total_iter =
+      opt.mcmc.burn_in + opt.mcmc.thin * opt.mcmc.samples;
+
+  std::vector<double> omega_chain, beta_chain;
+  omega_chain.reserve(opt.mcmc.samples);
+  beta_chain.reserve(opt.mcmc.samples);
+  std::size_t variates = 0;
+  std::size_t window_accepted = 0, window_size = 0;
+
+  for (std::size_t it = 0; it < total_iter; ++it) {
+    const double po = lo + step * random::sample_normal(rng);
+    const double pb = lb + step * random::sample_normal(rng);
+    variates += 2;
+    const double plt = log_target(po, pb);
+    ++proposed;
+    ++window_size;
+    if (std::log(rng.next_open()) < plt - lt) {
+      lo = po;
+      lb = pb;
+      lt = plt;
+      ++accepted;
+      ++window_accepted;
+    }
+    // Robbins-Monro-ish step adaptation during burn-in only.
+    if (opt.adapt && it < opt.mcmc.burn_in && window_size == 200) {
+      const double rate =
+          static_cast<double>(window_accepted) / static_cast<double>(window_size);
+      step *= std::exp(0.5 * (rate - 0.35));
+      window_accepted = window_size = 0;
+    }
+    if (it >= opt.mcmc.burn_in &&
+        (it - opt.mcmc.burn_in) % opt.mcmc.thin == opt.mcmc.thin - 1) {
+      omega_chain.push_back(std::exp(lo));
+      beta_chain.push_back(std::exp(lb));
+      if (omega_chain.size() == opt.mcmc.samples) break;
+    }
+  }
+  ChainResult chain(std::move(omega_chain), std::move(beta_chain),
+                    posterior.alpha0(), posterior.horizon(), variates);
+  return {std::move(chain),
+          proposed ? static_cast<double>(accepted) / proposed : 0.0, step};
+}
+
+}  // namespace vbsrm::bayes

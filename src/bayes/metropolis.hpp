@@ -1,0 +1,29 @@
+// General-purpose random-walk Metropolis-Hastings on (log omega,
+// log beta).  The paper notes MH as the fallback when no Gibbs scheme is
+// available (e.g. non-conjugate models); here it doubles as an
+// independent cross-check of the Gibbs samplers and as an ablation
+// subject (mixing vs the data-augmented Gibbs chain).
+#pragma once
+
+#include "bayes/chain.hpp"
+#include "bayes/posterior.hpp"
+
+namespace vbsrm::bayes {
+
+struct MhOptions {
+  McmcOptions mcmc;
+  /// Initial proposal sd in log space; adapted during burn-in towards
+  /// ~35% acceptance.
+  double step = 0.25;
+  bool adapt = true;
+};
+
+struct MhResult {
+  ChainResult chain;
+  double acceptance_rate = 0.0;
+  double final_step = 0.0;
+};
+
+MhResult metropolis(const LogPosterior& posterior, const MhOptions& opt = {});
+
+}  // namespace vbsrm::bayes

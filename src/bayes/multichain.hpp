@@ -1,0 +1,38 @@
+// Multi-chain MCMC: run several independently seeded Gibbs chains,
+// compute the cross-chain potential scale reduction factor (R-hat,
+// Gelman-Rubin), and pool the draws.  Production users should not trust
+// a single chain; this wraps the discipline up.
+#pragma once
+
+#include <vector>
+
+#include "bayes/gibbs.hpp"
+
+namespace vbsrm::bayes {
+
+struct MultiChainResult {
+  std::vector<ChainResult> chains;
+  double rhat_omega = 0.0;
+  double rhat_beta = 0.0;
+  /// All chains concatenated (valid once R-hat ~ 1).
+  ChainResult pooled;
+
+  bool converged(double threshold = 1.01) const {
+    return rhat_omega < threshold && rhat_beta < threshold;
+  }
+};
+
+/// Cross-chain R-hat for an arbitrary selector over equal-length chains.
+double cross_chain_rhat(const std::vector<std::vector<double>>& chains);
+
+MultiChainResult gibbs_failure_times_chains(int n_chains, double alpha0,
+                                            const data::FailureTimeData& d,
+                                            const PriorPair& priors,
+                                            const McmcOptions& base = {});
+
+MultiChainResult gibbs_grouped_chains(int n_chains, double alpha0,
+                                      const data::GroupedData& d,
+                                      const PriorPair& priors,
+                                      const McmcOptions& base = {});
+
+}  // namespace vbsrm::bayes

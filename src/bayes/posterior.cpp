@@ -1,0 +1,65 @@
+#include "bayes/posterior.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "math/specfun.hpp"
+
+namespace vbsrm::bayes {
+
+namespace m = vbsrm::math;
+
+LogPosterior::LogPosterior(double alpha0, const data::FailureTimeData& d,
+                           const PriorPair& priors)
+    : alpha0_(alpha0),
+      priors_(priors),
+      failures_(d.count()),
+      horizon_(d.observation_end()),
+      grouped_(false),
+      sum_t_(d.total_time()),
+      sum_log_t_(d.total_log_time()) {}
+
+LogPosterior::LogPosterior(double alpha0, const data::GroupedData& d,
+                           const PriorPair& priors)
+    : alpha0_(alpha0),
+      priors_(priors),
+      failures_(d.total_failures()),
+      horizon_(d.observation_end()),
+      grouped_(true),
+      bounds_(d.boundaries()),
+      counts_(d.counts()) {}
+
+double LogPosterior::beta_term(double beta) const {
+  if (!(beta > 0.0)) return -std::numeric_limits<double>::infinity();
+  const nhpp::GammaFailureLaw law{alpha0_};
+  if (!grouped_) {
+    // sum_i log g(t_i; alpha0, beta)
+    return static_cast<double>(failures_) *
+               (alpha0_ * std::log(beta) - m::log_gamma(alpha0_)) +
+           (alpha0_ - 1.0) * sum_log_t_ - beta * sum_t_;
+  }
+  double c = 0.0;
+  double prev = 0.0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const double x = static_cast<double>(counts_[i]);
+    if (x > 0.0) c += x * law.log_interval_mass(prev, bounds_[i], beta);
+    prev = bounds_[i];
+  }
+  return c;
+}
+
+double LogPosterior::exposure(double beta) const {
+  const nhpp::GammaFailureLaw law{alpha0_};
+  return law.cdf(horizon_, beta);
+}
+
+double LogPosterior::operator()(double omega, double beta) const {
+  if (!(omega > 0.0) || !(beta > 0.0)) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return priors_.omega.log_density(omega) + priors_.beta.log_density(beta) +
+         beta_term(beta) + static_cast<double>(failures_) * std::log(omega) -
+         omega * exposure(beta);
+}
+
+}  // namespace vbsrm::bayes

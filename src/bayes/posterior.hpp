@@ -1,0 +1,59 @@
+// The unnormalized log posterior log P(omega, beta | D) + const for
+// gamma-type NHPP models under either observation scheme (paper Eq. 6
+// with Eq. 4/5 likelihoods), exposed in a factorized form:
+//
+//   log post(omega, beta) = prior terms
+//                         + C(beta) + M log(omega) - omega * D(beta)
+//
+// where C collects the beta-only data terms and D(beta) = G(horizon).
+// The factorization lets grid methods evaluate one (C, D) pair per beta
+// node and sweep omega analytically cheaply.
+#pragma once
+
+#include <cstddef>
+
+#include "bayes/prior.hpp"
+#include "data/failure_data.hpp"
+#include "nhpp/model.hpp"
+
+namespace vbsrm::bayes {
+
+class LogPosterior {
+ public:
+  LogPosterior(double alpha0, const data::FailureTimeData& d,
+               const PriorPair& priors);
+  LogPosterior(double alpha0, const data::GroupedData& d,
+               const PriorPair& priors);
+
+  double alpha0() const { return alpha0_; }
+  const PriorPair& priors() const { return priors_; }
+  /// Number of observed failures M.
+  std::size_t failures() const { return failures_; }
+  /// Observation horizon (t_e or s_k).
+  double horizon() const { return horizon_; }
+
+  /// Beta-only data term C(beta).
+  double beta_term(double beta) const;
+  /// Exposure D(beta) = G(horizon; alpha0, beta).
+  double exposure(double beta) const;
+
+  /// Full unnormalized log posterior.
+  double operator()(double omega, double beta) const;
+
+ private:
+  double alpha0_;
+  PriorPair priors_;
+  std::size_t failures_;
+  double horizon_;
+
+  // Failure-time-data sufficient statistics (empty for grouped data).
+  bool grouped_ = false;
+  double sum_t_ = 0.0;
+  double sum_log_t_ = 0.0;
+
+  // Grouped data copy (small).
+  std::vector<double> bounds_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace vbsrm::bayes

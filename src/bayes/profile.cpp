@@ -1,0 +1,113 @@
+#include "bayes/profile.hpp"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+#include "math/optimize.hpp"
+#include "math/roots.hpp"
+#include "math/specfun.hpp"
+
+namespace vbsrm::bayes {
+
+namespace m = vbsrm::math;
+
+ProfileIntervalEstimator::ProfileIntervalEstimator(LogPosterior posterior)
+    : posterior_(std::move(posterior)) {
+  const double o0 = 1.3 * static_cast<double>(posterior_.failures()) + 1.0;
+  const double b0 = posterior_.alpha0() / (0.6 * posterior_.horizon());
+  auto nlp = [&](const std::vector<double>& p) {
+    const double v = posterior_(std::exp(p[0]), std::exp(p[1]));
+    return std::isfinite(v) ? -v : 1e300;
+  };
+  m::NelderMeadOptions nm;
+  nm.restarts = 2;
+  const auto sol = m::nelder_mead(nlp, {std::log(o0), std::log(b0)}, nm);
+  mode_omega_ = std::exp(sol.x[0]);
+  mode_beta_ = std::exp(sol.x[1]);
+  peak_ = posterior_(mode_omega_, mode_beta_);
+}
+
+double ProfileIntervalEstimator::maximize_over_beta(double omega) const {
+  // Unimodal in log beta around the joint mode: golden section over a
+  // generous window, then return the achieved maximum.
+  const double center = std::log(mode_beta_);
+  auto neg = [&](double lb) {
+    const double v = posterior_(omega, std::exp(lb));
+    return std::isfinite(v) ? -v : 1e300;
+  };
+  const auto r = m::golden_section(neg, center - 8.0, center + 8.0, 1e-11);
+  return -r.f;
+}
+
+double ProfileIntervalEstimator::maximize_over_omega(double beta) const {
+  // The conditional in omega is gamma-shaped: the prior contributes
+  // (shape-1) log w - rate*w, the likelihood M log w - w D(beta), so the
+  // maximizer is (shape - 1 + M) / (rate + D(beta)) when positive.
+  const auto& pw = posterior_.priors().omega;
+  const double shape = pw.is_flat() ? 1.0 : pw.shape;
+  const double rate = pw.is_flat() ? 0.0 : pw.rate;
+  const double num = shape - 1.0 + static_cast<double>(posterior_.failures());
+  const double den = rate + posterior_.exposure(beta);
+  if (num <= 0.0 || den <= 0.0) {
+    return posterior_(1e-12, beta);  // degenerate: mass at omega -> 0
+  }
+  return posterior_(num / den, beta);
+}
+
+double ProfileIntervalEstimator::profile_omega(double omega) const {
+  if (!(omega > 0.0)) return -std::numeric_limits<double>::infinity();
+  return maximize_over_beta(omega) - peak_;
+}
+
+double ProfileIntervalEstimator::profile_beta(double beta) const {
+  if (!(beta > 0.0)) return -std::numeric_limits<double>::infinity();
+  return maximize_over_omega(beta) - peak_;
+}
+
+namespace {
+
+/// Roots of profile(x) = threshold on both sides of the mode, searched
+/// multiplicatively.
+CredibleInterval likelihood_ratio_interval(
+    double mode, double threshold, double level,
+    const std::function<double(double)>& profile) {
+  auto f = [&](double x) { return profile(x) - threshold; };
+  // Left endpoint.
+  double lo = mode;
+  int guard = 0;
+  while (f(lo) > 0.0 && guard++ < 200) lo *= 0.8;
+  const auto left = m::brent(f, lo, mode, 1e-11, 300);
+  // Right endpoint.
+  double hi = mode;
+  guard = 0;
+  while (f(hi) > 0.0 && guard++ < 200) hi *= 1.25;
+  const auto right = m::brent(f, mode, hi, 1e-11, 300);
+  return {left.x, right.x, level};
+}
+
+}  // namespace
+
+CredibleInterval ProfileIntervalEstimator::interval_omega(
+    double level) const {
+  if (!(level > 0.0) || !(level < 1.0)) {
+    throw std::invalid_argument("interval_omega: level in (0,1)");
+  }
+  const double z = m::normal_quantile(0.5 + 0.5 * level);
+  const double threshold = -0.5 * z * z;
+  return likelihood_ratio_interval(mode_omega_, threshold, level,
+                                   [&](double w) { return profile_omega(w); });
+}
+
+CredibleInterval ProfileIntervalEstimator::interval_beta(double level) const {
+  if (!(level > 0.0) || !(level < 1.0)) {
+    throw std::invalid_argument("interval_beta: level in (0,1)");
+  }
+  const double z = m::normal_quantile(0.5 + 0.5 * level);
+  const double threshold = -0.5 * z * z;
+  return likelihood_ratio_interval(mode_beta_, threshold, level,
+                                   [&](double b) { return profile_beta(b); });
+}
+
+}  // namespace vbsrm::bayes

@@ -1,0 +1,34 @@
+// Common result types shared by all posterior estimators (NINT, LAPL,
+// MCMC, VB1, VB2) so benches and examples can treat them uniformly.
+#pragma once
+
+namespace vbsrm::bayes {
+
+/// First and second moments of the joint posterior of (omega, beta) —
+/// the quantities of the paper's Table 1.
+struct PosteriorSummary {
+  double mean_omega = 0.0;
+  double mean_beta = 0.0;
+  double var_omega = 0.0;
+  double var_beta = 0.0;
+  double cov = 0.0;  // Cov(omega, beta)
+};
+
+/// Two-sided credible interval at a given level (e.g. 0.99 gives the
+/// 0.5% and 99.5% quantiles, as in the paper's Tables 2-3).
+struct CredibleInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double level = 0.0;
+};
+
+/// Point estimate plus two-sided interval for software reliability
+/// R(t_e + u | t_e) — the paper's Tables 4-5.
+struct ReliabilityEstimate {
+  double point = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  double level = 0.0;
+};
+
+}  // namespace vbsrm::bayes

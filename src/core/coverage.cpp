@@ -1,0 +1,123 @@
+#include "core/coverage.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bayes/gibbs.hpp"
+#include "bayes/laplace.hpp"
+#include "bayes/profile.hpp"
+#include "core/vb1.hpp"
+#include "core/vb2.hpp"
+#include "data/simulate.hpp"
+#include "random/rng.hpp"
+
+namespace vbsrm::core {
+
+namespace {
+
+struct Tally {
+  MethodCoverage agg;
+
+  void record(const bayes::CredibleInterval& io,
+              const bayes::CredibleInterval& ib, double omega, double beta) {
+    ++agg.trials;
+    agg.covered_omega += (omega >= io.lower && omega <= io.upper);
+    agg.covered_beta += (beta >= ib.lower && beta <= ib.upper);
+    agg.mean_width_omega += io.upper - io.lower;
+    agg.mean_width_beta += ib.upper - ib.lower;
+  }
+
+  MethodCoverage finish() {
+    if (agg.trials > 0) {
+      agg.mean_width_omega /= agg.trials;
+      agg.mean_width_beta /= agg.trials;
+    }
+    return agg;
+  }
+};
+
+}  // namespace
+
+std::vector<MethodCoverage> run_coverage_study(const CoverageConfig& cfg) {
+  if (cfg.replications < 1) {
+    throw std::invalid_argument("run_coverage_study: replications >= 1");
+  }
+  Tally vb2_t, vb1_t, lapl_t, prof_t, mcmc_t;
+  vb2_t.agg.method = "VB2";
+  vb1_t.agg.method = "VB1";
+  lapl_t.agg.method = "LAPL";
+  prof_t.agg.method = "PROFILE";
+  mcmc_t.agg.method = "MCMC";
+
+  random::Rng master(cfg.seed);
+  int produced = 0;
+  int attempts = 0;
+  while (produced < cfg.replications && attempts < 20 * cfg.replications) {
+    ++attempts;
+    random::Rng rng = master.split(static_cast<std::uint64_t>(attempts));
+    const auto sim = data::simulate_gamma_nhpp(rng, cfg.omega, cfg.alpha0,
+                                               cfg.beta, cfg.horizon);
+    if (sim.count() < cfg.min_failures) continue;
+    ++produced;
+
+    try {
+      const Vb2Estimator vb2(cfg.alpha0, sim, cfg.priors);
+      vb2_t.record(vb2.posterior().interval_omega(cfg.level),
+                   vb2.posterior().interval_beta(cfg.level), cfg.omega,
+                   cfg.beta);
+    } catch (const std::exception&) {
+      ++vb2_t.agg.failures;
+    }
+    try {
+      const Vb1Estimator vb1(cfg.alpha0, sim, cfg.priors);
+      vb1_t.record(vb1.posterior().interval_omega(cfg.level),
+                   vb1.posterior().interval_beta(cfg.level), cfg.omega,
+                   cfg.beta);
+    } catch (const std::exception&) {
+      ++vb1_t.agg.failures;
+    }
+    try {
+      bayes::LogPosterior post(cfg.alpha0, sim, cfg.priors);
+      const bayes::LaplaceEstimator lap(post);
+      lapl_t.record(lap.interval_omega(cfg.level),
+                    lap.interval_beta(cfg.level), cfg.omega, cfg.beta);
+    } catch (const std::exception&) {
+      ++lapl_t.agg.failures;
+    }
+    try {
+      bayes::LogPosterior post(cfg.alpha0, sim, cfg.priors);
+      const bayes::ProfileIntervalEstimator prof(std::move(post));
+      prof_t.record(prof.interval_omega(cfg.level),
+                    prof.interval_beta(cfg.level), cfg.omega, cfg.beta);
+    } catch (const std::exception&) {
+      ++prof_t.agg.failures;
+    }
+    if (cfg.include_mcmc) {
+      try {
+        bayes::McmcOptions mc;
+        mc.burn_in = 2000;
+        mc.thin = 2;
+        mc.samples = cfg.mcmc_samples;
+        mc.seed = cfg.seed + static_cast<std::uint64_t>(attempts) * 31;
+        const auto chain =
+            bayes::gibbs_failure_times(cfg.alpha0, sim, cfg.priors, mc);
+        mcmc_t.record(chain.interval_omega(cfg.level),
+                      chain.interval_beta(cfg.level), cfg.omega, cfg.beta);
+      } catch (const std::exception&) {
+        ++mcmc_t.agg.failures;
+      }
+    }
+  }
+
+  std::vector<MethodCoverage> out{vb2_t.finish(), vb1_t.finish(),
+                                  lapl_t.finish(), prof_t.finish()};
+  if (cfg.include_mcmc) out.push_back(mcmc_t.finish());
+  return out;
+}
+
+double coverage_standard_error(double level, int trials) {
+  if (trials < 1) return 1.0;
+  return std::sqrt(level * (1.0 - level) / static_cast<double>(trials));
+}
+
+}  // namespace vbsrm::core

@@ -1,0 +1,63 @@
+// Monte-Carlo coverage study: are the methods' credible intervals
+// calibrated in the frequentist sense?  Repeatedly simulate a
+// gamma-type NHPP from known truth, build each method's level-L
+// interval for omega and beta, and count how often the truth is
+// covered.  The paper compares methods only against each other on one
+// data set; this harness quantifies who is *actually* calibrated — the
+// missing experiment its Section 6 implies (VB1's too-narrow intervals
+// must under-cover; LAPL's left shift must cost omega coverage).
+//
+// MCMC/NINT are deliberately excluded by default: at hundreds of
+// replications their cost dominates while their intervals track VB2's
+// (Tables 2-3); flags let you add them for small studies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bayes/prior.hpp"
+
+namespace vbsrm::core {
+
+struct CoverageConfig {
+  double alpha0 = 1.0;
+  double omega = 90.0;       // simulation truth
+  double beta = 1.25e-3;     // simulation truth
+  double horizon = 1200.0;
+  double level = 0.9;
+  int replications = 200;
+  std::uint64_t seed = 42;
+  bayes::PriorPair priors;   // used by every Bayesian method
+  bool include_mcmc = false; // expensive; off by default
+  std::size_t mcmc_samples = 4000;
+  /// Replications yielding fewer failures than this are re-drawn.
+  std::size_t min_failures = 8;
+};
+
+struct MethodCoverage {
+  std::string method;
+  int trials = 0;
+  int covered_omega = 0;
+  int covered_beta = 0;
+  double mean_width_omega = 0.0;  // average interval width
+  double mean_width_beta = 0.0;
+  int failures = 0;  // estimator errors (skipped trials)
+
+  double rate_omega() const {
+    return trials ? static_cast<double>(covered_omega) / trials : 0.0;
+  }
+  double rate_beta() const {
+    return trials ? static_cast<double>(covered_beta) / trials : 0.0;
+  }
+};
+
+/// Run the study for VB2, VB1, LAPL and PROFILE (plus MCMC when
+/// enabled).  Results are ordered as named.
+std::vector<MethodCoverage> run_coverage_study(const CoverageConfig& config);
+
+/// Two-sided binomial standard error of a coverage estimate — how much
+/// slack to allow when judging rates against the nominal level.
+double coverage_standard_error(double level, int trials);
+
+}  // namespace vbsrm::core

@@ -1,0 +1,173 @@
+#include "core/predictive.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "math/quadrature.hpp"
+#include "math/specfun.hpp"
+#include "nhpp/model.hpp"
+
+namespace vbsrm::core {
+
+namespace m = vbsrm::math;
+
+PredictiveDistribution::PredictiveDistribution(
+    const GammaMixturePosterior& posterior, double u)
+    : posterior_(posterior), u_(u) {
+  if (!(u > 0.0)) {
+    throw std::invalid_argument("PredictiveDistribution: u must be > 0");
+  }
+  const nhpp::GammaFailureLaw law{posterior.alpha0()};
+  const double te = posterior.horizon();
+  static const m::GaussLegendre rule(24);
+  constexpr int kPanels = 8;
+
+  for (const auto& c : posterior.components()) {
+    ComponentQuad q;
+    q.weight = c.weight;
+    q.a = c.omega.shape;
+    q.b = c.omega.rate;
+    const double lo = c.beta.quantile(1e-10);
+    const double hi = c.beta.quantile(1.0 - 1e-10);
+    const double panel = (hi - lo) / kPanels;
+    for (int p = 0; p < kPanels; ++p) {
+      const double center = lo + (p + 0.5) * panel;
+      const double half = 0.5 * panel;
+      for (int i = 0; i < rule.size(); ++i) {
+        const double beta = center + half * rule.nodes()[i];
+        const double wq =
+            half * rule.weights()[i] * std::exp(c.beta.log_pdf(beta));
+        q.wq.push_back(wq);
+        q.h.push_back(law.interval_mass(te, te + u, beta));
+      }
+    }
+    quads_.push_back(std::move(q));
+  }
+}
+
+double PredictiveDistribution::pmf(std::uint64_t k) const {
+  const double kd = static_cast<double>(k);
+  double s = 0.0;
+  for (const auto& q : quads_) {
+    double comp = 0.0;
+    for (std::size_t i = 0; i < q.wq.size(); ++i) {
+      const double h = q.h[i];
+      if (h <= 0.0) {
+        if (k == 0) comp += q.wq[i];
+        continue;
+      }
+      // Negative binomial: C(a+k-1, k) (h/(b+h))^k (b/(b+h))^a.
+      const double log_p = m::log_gamma(q.a + kd) - m::log_gamma(q.a) -
+                           m::log_gamma(kd + 1.0) +
+                           kd * (std::log(h) - std::log(q.b + h)) +
+                           q.a * (std::log(q.b) - std::log(q.b + h));
+      comp += q.wq[i] * std::exp(log_p);
+    }
+    s += q.weight * comp;
+  }
+  return s;
+}
+
+double PredictiveDistribution::cdf(std::uint64_t k) const {
+  double s = 0.0;
+  for (std::uint64_t i = 0; i <= k; ++i) s += pmf(i);
+  return std::min(s, 1.0);
+}
+
+double PredictiveDistribution::mean() const {
+  // E[K] = E[omega] * E_beta-ish; exactly: sum_N w_N E[omega|N] *
+  // integral h(beta) dPv(beta|N).
+  double s = 0.0;
+  for (const auto& q : quads_) {
+    double eh = 0.0;
+    for (std::size_t i = 0; i < q.wq.size(); ++i) eh += q.wq[i] * q.h[i];
+    s += q.weight * (q.a / q.b) * eh;
+  }
+  return s;
+}
+
+double PredictiveDistribution::variance() const {
+  // Var(K) = E[Var(K|omega,beta)] + Var(E[K|omega,beta])
+  //        = E[omega h] + Var(omega h); all moments via the cached
+  // quadratures (omega moments analytic given N).
+  double e1 = 0.0, e2 = 0.0;
+  for (const auto& q : quads_) {
+    const double eo = q.a / q.b;
+    const double eo2 = q.a * (q.a + 1.0) / (q.b * q.b);
+    double eh = 0.0, eh2 = 0.0;
+    for (std::size_t i = 0; i < q.wq.size(); ++i) {
+      eh += q.wq[i] * q.h[i];
+      eh2 += q.wq[i] * q.h[i] * q.h[i];
+    }
+    e1 += q.weight * eo * eh;
+    e2 += q.weight * eo2 * eh2;
+  }
+  return e1 + e2 - e1 * e1;
+}
+
+std::uint64_t PredictiveDistribution::quantile(double p) const {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("predictive quantile: p in (0,1)");
+  }
+  double acc = 0.0;
+  // Upper bound: mean + 20 sd + 10 is far beyond any sensible quantile.
+  const std::uint64_t hard_cap =
+      static_cast<std::uint64_t>(mean() + 20.0 * std::sqrt(variance()) + 10.0);
+  for (std::uint64_t k = 0; k <= hard_cap; ++k) {
+    acc += pmf(k);
+    if (acc >= p) return k;
+  }
+  return hard_cap;
+}
+
+std::pair<std::uint64_t, std::uint64_t> PredictiveDistribution::interval(
+    double level) const {
+  const double a = 0.5 * (1.0 - level);
+  return {quantile(a), quantile(1.0 - a)};
+}
+
+ResidualFaultDistribution ResidualFaultDistribution::from_posterior(
+    const GammaMixturePosterior& posterior) {
+  ResidualFaultDistribution out;
+  std::uint64_t n_min = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t n_max = 0;
+  for (const auto& c : posterior.components()) {
+    n_min = std::min(n_min, c.n);
+    n_max = std::max(n_max, c.n);
+  }
+  out.observed = n_min;
+  out.pmf.assign(n_max - n_min + 1, 0.0);
+  for (const auto& c : posterior.components()) {
+    out.pmf[c.n - n_min] += c.weight;
+  }
+  return out;
+}
+
+double ResidualFaultDistribution::mean() const {
+  double s = 0.0;
+  for (std::size_t r = 0; r < pmf.size(); ++r) {
+    s += pmf[r] * static_cast<double>(r);
+  }
+  return s;
+}
+
+double ResidualFaultDistribution::prob_at_most(std::uint64_t r) const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < pmf.size() && i <= r; ++i) s += pmf[i];
+  return std::min(s, 1.0);
+}
+
+std::uint64_t ResidualFaultDistribution::quantile(double p) const {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("residual quantile: p in (0,1)");
+  }
+  double acc = 0.0;
+  for (std::size_t r = 0; r < pmf.size(); ++r) {
+    acc += pmf[r];
+    if (acc >= p) return r;
+  }
+  return pmf.size() - 1;
+}
+
+}  // namespace vbsrm::core

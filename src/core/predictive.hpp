@@ -1,0 +1,77 @@
+// Posterior-predictive distributions over the VB posterior.
+//
+// Given the mixture posterior Pv(omega, beta) = sum_N w_N
+// Gamma(omega) Gamma(beta) and the gamma-type model, the number of
+// failures K in a future window (t_e, t_e + u] satisfies
+//   K | omega, beta ~ Poisson(omega * h(beta)),
+//   h(beta) = G(t_e + u; beta) - G(t_e; beta),
+// and the omega-integral is analytic: mixing Poisson(omega h) over
+// omega ~ Gamma(a, b) gives a negative binomial,
+//   P(K = k | beta, N) = C(a+k-1, k) * (h/(b+h))^k * (b/(b+h))^a.
+// Only a 1-D quadrature over beta remains per mixture component, so the
+// full predictive pmf/cdf/quantiles are cheap and deterministic.
+//
+// The residual-fault distribution P(N - m = r | D) falls out of the
+// mixture weights directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gamma_mixture.hpp"
+
+namespace vbsrm::core {
+
+class PredictiveDistribution {
+ public:
+  /// Predictive law of the failure count in (horizon, horizon + u],
+  /// where `horizon` is the posterior's observation end.
+  PredictiveDistribution(const GammaMixturePosterior& posterior, double u);
+
+  double window() const { return u_; }
+
+  /// P(K = k) for the future-window failure count.
+  double pmf(std::uint64_t k) const;
+  /// P(K <= k).
+  double cdf(std::uint64_t k) const;
+  /// Predictive mean E[K] = E[omega h(beta)] (exact via quadrature).
+  double mean() const;
+  /// Predictive variance (law of total variance over the posterior).
+  double variance() const;
+  /// Smallest k with P(K <= k) >= p.
+  std::uint64_t quantile(double p) const;
+  /// Central predictive interval [quantile((1-level)/2),
+  /// quantile(1-(1-level)/2)].
+  std::pair<std::uint64_t, std::uint64_t> interval(double level) const;
+  /// P(K = 0) — must equal the posterior reliability point estimate.
+  double prob_zero() const { return pmf(0); }
+
+ private:
+  const GammaMixturePosterior& posterior_;
+  double u_;
+  // Cached per-component beta quadrature: nodes, pdf weights, and h(beta).
+  struct ComponentQuad {
+    double weight;            // mixture weight
+    double a, b;              // omega gamma params
+    std::vector<double> wq;   // quadrature weight * beta pdf
+    std::vector<double> h;    // h(beta) at the nodes
+  };
+  std::vector<ComponentQuad> quads_;
+};
+
+/// Residual-fault count distribution P(N - m = r | D) read off the
+/// mixture weights; `observed` is m (the smallest N in the mixture).
+struct ResidualFaultDistribution {
+  std::uint64_t observed = 0;
+  std::vector<double> pmf;  // index r = N - observed
+
+  static ResidualFaultDistribution from_posterior(
+      const GammaMixturePosterior& posterior);
+
+  double mean() const;
+  double prob_at_most(std::uint64_t r) const;
+  /// Smallest r with P(residual <= r) >= p.
+  std::uint64_t quantile(double p) const;
+};
+
+}  // namespace vbsrm::core

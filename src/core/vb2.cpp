@@ -1,0 +1,260 @@
+#include "core/vb2.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "math/roots.hpp"
+#include "math/specfun.hpp"
+#include "nhpp/model.hpp"
+
+namespace vbsrm::core {
+
+namespace m = vbsrm::math;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Vb2Estimator::Vb2Estimator(double alpha0, const data::FailureTimeData& d,
+                           const bayes::PriorPair& priors,
+                           const Vb2Options& opt)
+    : alpha0_(alpha0),
+      priors_(priors),
+      grouped_(false),
+      observed_(d.count()),
+      horizon_(d.observation_end()),
+      sum_t_(d.total_time()),
+      sum_log_t_(d.total_log_time()) {
+  if (!(alpha0 > 0.0)) throw std::invalid_argument("Vb2: alpha0 must be > 0");
+  if (observed_ == 0) {
+    throw std::invalid_argument(
+        "Vb2: no failures observed — beta is unidentifiable (with flat "
+        "priors the N=0 component would even have an improper beta "
+        "posterior); collect data or encode knowledge in the priors");
+  }
+  run(opt);
+}
+
+Vb2Estimator::Vb2Estimator(double alpha0, const data::GroupedData& d,
+                           const bayes::PriorPair& priors,
+                           const Vb2Options& opt)
+    : alpha0_(alpha0),
+      priors_(priors),
+      grouped_(true),
+      observed_(d.total_failures()),
+      horizon_(d.observation_end()),
+      bounds_(d.boundaries()),
+      counts_(d.counts()) {
+  if (!(alpha0 > 0.0)) throw std::invalid_argument("Vb2: alpha0 must be > 0");
+  if (observed_ == 0) {
+    throw std::invalid_argument(
+        "Vb2: no failures observed — beta is unidentifiable");
+  }
+  run(opt);
+}
+
+namespace {
+
+/// zeta(xi, N): the E-step expectation E[sum_i T_i | N] at rate xi.
+struct ZetaEvaluator {
+  double alpha0;
+  bool grouped;
+  double observed;       // M as double
+  double horizon;
+  double sum_t;          // failure-time only
+  const std::vector<double>* bounds;        // grouped only
+  const std::vector<std::size_t>* counts;   // grouped only
+
+  double operator()(double xi, double n) const {
+    const nhpp::GammaFailureLaw law{alpha0};
+    const double residual = n - observed;
+    double z = 0.0;
+    if (!grouped) {
+      z = sum_t;
+    } else {
+      double prev = 0.0;
+      for (std::size_t i = 0; i < bounds->size(); ++i) {
+        const double x = static_cast<double>((*counts)[i]);
+        if (x > 0.0) {
+          z += x * law.truncated_mean(prev, (*bounds)[i], xi);
+        }
+        prev = (*bounds)[i];
+      }
+    }
+    if (residual > 0.0) {
+      z += residual * law.truncated_mean(horizon, kInf, xi);
+    }
+    return z;
+  }
+};
+
+}  // namespace
+
+std::pair<double, double> Vb2Estimator::solve_component(
+    std::uint64_t n) const {
+  const double nd = static_cast<double>(n);
+  const double md = static_cast<double>(observed_);
+  const ZetaEvaluator zeta_of{alpha0_, grouped_, md, horizon_, sum_t_,
+                              &bounds_, &counts_};
+  const double a_beta = priors_.beta.shape + nd * alpha0_;
+
+  // Goel-Okumoto + failure-time data: closed form.
+  if (!grouped_ && alpha0_ == 1.0) {
+    const double xi = (priors_.beta.shape + md) /
+                      (priors_.beta.rate + sum_t_ + (nd - md) * horizon_);
+    return {zeta_of(xi, nd), xi};
+  }
+  auto g = [&](double xi) {
+    return a_beta / (priors_.beta.rate + zeta_of(xi, nd));
+  };
+  // Start: pretend every unobserved fault fails right at the horizon.
+  const double start =
+      a_beta / (priors_.beta.rate + sum_t_ + std::max(0.0, nd - md) * horizon_ +
+                (grouped_ ? md * 0.5 * horizon_ : 0.0) + 1e-300);
+  const auto r = m::fixed_point(g, start, 1e-13, 500);
+  return {zeta_of(r.x, nd), r.x};
+}
+
+double Vb2Estimator::component_objective(std::uint64_t n, double xi) const {
+  const double nd = static_cast<double>(n);
+  const double md = static_cast<double>(observed_);
+  const double rd = nd - md;
+  if (rd < 0.0 || !(xi > 0.0)) return -kInf;
+
+  const ZetaEvaluator zeta_of{alpha0_, grouped_, md, horizon_, sum_t_,
+                              &bounds_, &counts_};
+  const nhpp::GammaFailureLaw law{alpha0_};
+  const double zeta = zeta_of(xi, nd);
+
+  const double a_w = priors_.omega.shape + nd;
+  const double b_w = priors_.omega.rate + 1.0;
+  const double a_b = priors_.beta.shape + nd * alpha0_;
+  const double b_b = priors_.beta.rate + zeta;
+
+  // log C(N): observed-data term at rate xi.
+  double log_c;
+  if (!grouped_) {
+    log_c = md * (alpha0_ * std::log(xi) - m::log_gamma(alpha0_)) +
+            (alpha0_ - 1.0) * sum_log_t_ - xi * sum_t_;
+  } else {
+    log_c = 0.0;
+    double prev = 0.0;
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      const double x = static_cast<double>(counts_[i]);
+      if (x > 0.0) {
+        log_c += x * law.log_interval_mass(prev, bounds_[i], xi);
+      }
+      prev = bounds_[i];
+    }
+  }
+  log_c += rd * law.log_survival(horizon_, xi) - m::log_gamma(rd + 1.0);
+
+  return m::log_gamma(a_w) - a_w * std::log(b_w) + m::log_gamma(a_b) -
+         a_b * std::log(b_b) + log_c - nd * alpha0_ * std::log(xi) +
+         xi * zeta;
+}
+
+void Vb2Estimator::run(const Vb2Options& opt) {
+  const std::uint64_t n_min = observed_;
+  std::uint64_t n_max = std::max<std::uint64_t>(opt.n_max, n_min + 1);
+
+  std::vector<double> log_w;       // indexed by N - n_min
+  std::vector<double> zetas, xis;  // per component
+  std::uint64_t fp_iters = 0;
+
+  const ZetaEvaluator zeta_of{alpha0_, grouped_,
+                              static_cast<double>(observed_), horizon_,
+                              sum_t_, &bounds_, &counts_};
+  const double a_beta_base = priors_.beta.shape;
+
+  auto solve_with_warm_start = [&](std::uint64_t n,
+                                   double warm) -> std::pair<double, double> {
+    const double nd = static_cast<double>(n);
+    const double md = static_cast<double>(observed_);
+    const double a_beta = a_beta_base + nd * alpha0_;
+    if (!grouped_ && alpha0_ == 1.0 && opt.use_closed_form) {
+      const double xi = (priors_.beta.shape + md) /
+                        (priors_.beta.rate + sum_t_ + (nd - md) * horizon_);
+      ++fp_iters;
+      return {zeta_of(xi, nd), xi};
+    }
+    auto g = [&](double xi) {
+      return a_beta / (priors_.beta.rate + zeta_of(xi, nd));
+    };
+    if (opt.use_newton) {
+      auto f = [&](double xi) { return g(xi) - xi; };
+      auto df = [&](double xi) {
+        const double h = 1e-7 * std::max(xi, 1e-12);
+        return (f(xi + h) - f(xi - h)) / (2.0 * h);
+      };
+      const auto r = m::newton(f, df, warm, warm * 1e-3, warm * 1e3,
+                               opt.fixed_point_tol, opt.fixed_point_max_iter);
+      fp_iters += static_cast<std::uint64_t>(r.iterations);
+      return {zeta_of(r.x, nd), r.x};
+    }
+    const auto r = m::fixed_point(g, warm, opt.fixed_point_tol,
+                                  opt.fixed_point_max_iter);
+    fp_iters += static_cast<std::uint64_t>(r.iterations);
+    return {zeta_of(r.x, nd), r.x};
+  };
+
+  // Initial warm start: all mass at the horizon.
+  double warm = (a_beta_base + static_cast<double>(n_min) * alpha0_) /
+                (priors_.beta.rate +
+                 (grouped_ ? static_cast<double>(observed_) * 0.5 * horizon_
+                           : sum_t_) +
+                 1.0e-300 + static_cast<double>(n_min) * 0.1);
+  if (!(warm > 0.0) || !std::isfinite(warm)) warm = alpha0_ / horizon_;
+
+  std::uint64_t doublings = 0;
+  std::uint64_t n_next = n_min;
+  for (;;) {
+    for (std::uint64_t n = n_next; n <= n_max; ++n) {
+      const auto [zeta, xi] = solve_with_warm_start(n, warm);
+      warm = xi;
+      zetas.push_back(zeta);
+      xis.push_back(xi);
+      log_w.push_back(component_objective(n, xi));
+    }
+    n_next = n_max + 1;
+
+    // Step 3-4: normalize and test the tail mass.
+    std::vector<double> w = log_w;
+    const double log_z = m::log_sum_exp(w);
+    const double p_tail = std::exp(log_w.back() - log_z);
+    if (!opt.adapt_n_max || p_tail < opt.epsilon ||
+        n_max >= opt.n_max_limit) {
+      diag_.n_max_used = n_max;
+      diag_.prob_at_n_max = p_tail;
+      diag_.n_max_doublings = doublings;
+      diag_.total_fixed_point_iterations = fp_iters;
+      diag_.log_evidence_bound = log_z;
+      break;
+    }
+    n_max = std::min(opt.n_max_limit, n_max * 2);
+    ++doublings;
+  }
+
+  // Build the mixture, pruning numerically-zero components.
+  std::vector<double> w = log_w;
+  m::normalize_log_weights(w);
+  std::vector<ProductGammaComponent> comps;
+  comps.reserve(w.size());
+  for (std::size_t k = 0; k < w.size(); ++k) {
+    if (w[k] < 1e-15 && comps.size() > 2) continue;
+    ProductGammaComponent c;
+    c.n = n_min + static_cast<std::uint64_t>(k);
+    c.weight = w[k];
+    c.omega = {priors_.omega.shape + static_cast<double>(c.n),
+               priors_.omega.rate + 1.0};
+    c.beta = {priors_.beta.shape + static_cast<double>(c.n) * alpha0_,
+              priors_.beta.rate + zetas[k]};
+    comps.push_back(c);
+  }
+  posterior_.emplace(std::move(comps), alpha0_, horizon_);
+}
+
+}  // namespace vbsrm::core

@@ -1,0 +1,131 @@
+#include "data/failure_data.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace vbsrm::data {
+
+FailureTimeData::FailureTimeData(std::vector<double> times,
+                                 double observation_end)
+    : times_(std::move(times)), te_(observation_end) {
+  if (!(te_ > 0.0)) {
+    throw std::invalid_argument("FailureTimeData: observation_end must be > 0");
+  }
+  std::sort(times_.begin(), times_.end());
+  for (double t : times_) {
+    if (!(t > 0.0) || !std::isfinite(t)) {
+      throw std::invalid_argument("FailureTimeData: times must be finite, > 0");
+    }
+    if (t > te_) {
+      throw std::invalid_argument(
+          "FailureTimeData: failure time beyond observation_end");
+    }
+  }
+}
+
+double FailureTimeData::total_time() const {
+  return std::accumulate(times_.begin(), times_.end(), 0.0);
+}
+
+double FailureTimeData::total_log_time() const {
+  double s = 0.0;
+  for (double t : times_) s += std::log(t);
+  return s;
+}
+
+GroupedData FailureTimeData::to_grouped(
+    const std::vector<double>& boundaries) const {
+  if (boundaries.empty()) {
+    throw std::invalid_argument("to_grouped: need at least one boundary");
+  }
+  std::vector<std::size_t> counts(boundaries.size(), 0);
+  for (double t : times_) {
+    const auto it =
+        std::lower_bound(boundaries.begin(), boundaries.end(), t);
+    if (it == boundaries.end()) continue;  // beyond the grouping horizon
+    counts[static_cast<std::size_t>(it - boundaries.begin())] += 1;
+  }
+  return GroupedData(boundaries, std::move(counts));
+}
+
+FailureTimeData FailureTimeData::from_csv(std::istream& in,
+                                          double observation_end) {
+  std::vector<double> times;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    double t;
+    if (ls >> t) times.push_back(t);
+  }
+  return FailureTimeData(std::move(times), observation_end);
+}
+
+std::string FailureTimeData::to_csv() const {
+  std::ostringstream os;
+  os << "# failure times, observation_end=" << te_ << '\n';
+  for (double t : times_) os << t << '\n';
+  return os.str();
+}
+
+GroupedData::GroupedData(std::vector<double> boundaries,
+                         std::vector<std::size_t> counts)
+    : bounds_(std::move(boundaries)), counts_(std::move(counts)) {
+  if (bounds_.empty() || bounds_.size() != counts_.size()) {
+    throw std::invalid_argument("GroupedData: boundaries/counts mismatch");
+  }
+  double prev = 0.0;
+  for (double b : bounds_) {
+    if (!(b > prev) || !std::isfinite(b)) {
+      throw std::invalid_argument(
+          "GroupedData: boundaries must be finite, strictly increasing, > 0");
+    }
+    prev = b;
+  }
+}
+
+std::size_t GroupedData::total_failures() const {
+  return std::accumulate(counts_.begin(), counts_.end(), std::size_t{0});
+}
+
+std::vector<std::size_t> GroupedData::cumulative() const {
+  std::vector<std::size_t> cum(counts_.size());
+  std::partial_sum(counts_.begin(), counts_.end(), cum.begin());
+  return cum;
+}
+
+GroupedData GroupedData::from_csv(std::istream& in) {
+  std::vector<double> bounds;
+  std::vector<std::size_t> counts;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+    std::istringstream ls(line);
+    double b;
+    char comma;
+    long long c;
+    if (!(ls >> b >> comma >> c) || comma != ',' || c < 0) {
+      throw std::invalid_argument("GroupedData::from_csv: bad line: " + line);
+    }
+    bounds.push_back(b);
+    counts.push_back(static_cast<std::size_t>(c));
+  }
+  return GroupedData(std::move(bounds), std::move(counts));
+}
+
+std::string GroupedData::to_csv() const {
+  std::ostringstream os;
+  os << "# boundary,count\n";
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    os << bounds_[i] << ',' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace vbsrm::data

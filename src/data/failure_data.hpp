@@ -1,0 +1,78 @@
+// Failure data containers for software reliability analysis.
+//
+// Two observation schemes, mirroring the paper's Section 3:
+//   FailureTimeData — exact, ordered failure times T_1 < ... < T_m
+//                     observed up to a censoring horizon t_e (Eq. 4).
+//   GroupedData     — counts X_i of failures inside intervals
+//                     (s_{i-1}, s_i] for 0 = s_0 < s_1 < ... < s_k (Eq. 5).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vbsrm::data {
+
+/// Exact failure times observed during (0, t_e].  Invariants enforced at
+/// construction: times strictly positive, nondecreasing is upgraded to
+/// strictly increasing tolerance-free sorting, all times <= t_e.
+class FailureTimeData {
+ public:
+  FailureTimeData(std::vector<double> times, double observation_end);
+
+  const std::vector<double>& times() const { return times_; }
+  double observation_end() const { return te_; }
+  std::size_t count() const { return times_.size(); }
+
+  /// Sum of the observed failure times (a sufficient statistic of the
+  /// exponential/gamma-type likelihood).
+  double total_time() const;
+
+  /// Sum of log failure times (enters the gamma-type likelihood for
+  /// alpha0 != 1).
+  double total_log_time() const;
+
+  /// Bin the failure times by the given boundaries (s_0=0 implied).
+  /// Failures beyond the last boundary are dropped; the resulting
+  /// grouped data therefore ends at boundaries.back().
+  class GroupedData to_grouped(const std::vector<double>& boundaries) const;
+
+  /// Parse "time per line" text (comments with '#', blank lines ok).
+  static FailureTimeData from_csv(std::istream& in, double observation_end);
+  std::string to_csv() const;
+
+ private:
+  std::vector<double> times_;
+  double te_;
+};
+
+/// Grouped failure counts over contiguous intervals.
+class GroupedData {
+ public:
+  GroupedData(std::vector<double> boundaries, std::vector<std::size_t> counts);
+
+  /// Interval right endpoints s_1 < ... < s_k (s_0 = 0 implicit).
+  const std::vector<double>& boundaries() const { return bounds_; }
+  const std::vector<std::size_t>& counts() const { return counts_; }
+  std::size_t intervals() const { return counts_.size(); }
+
+  double observation_end() const { return bounds_.back(); }
+  std::size_t total_failures() const;
+
+  double left_edge(std::size_t i) const { return i == 0 ? 0.0 : bounds_[i - 1]; }
+  double right_edge(std::size_t i) const { return bounds_[i]; }
+
+  /// Cumulative failure counts after each interval.
+  std::vector<std::size_t> cumulative() const;
+
+  /// Parse "boundary,count" CSV lines.
+  static GroupedData from_csv(std::istream& in);
+  std::string to_csv() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace vbsrm::data

@@ -1,0 +1,56 @@
+// Small dense linear algebra: just enough for Laplace approximations
+// (Cholesky of 2x2..4x4 Hessians, solves, inverses, determinants) and
+// multivariate-normal manipulation.  Row-major storage.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace vbsrm::math {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+  static Matrix from_rows(std::initializer_list<std::initializer_list<double>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+  double operator()(std::size_t i, std::size_t j) const { return data_[i * cols_ + j]; }
+
+  const std::vector<double>& data() const { return data_; }
+
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix scaled(double s) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Cholesky factor L (lower triangular, A = L L^T) of a symmetric
+/// positive-definite matrix.  Throws std::domain_error if A is not SPD.
+Matrix cholesky(const Matrix& a);
+
+/// Solve A x = b via LU with partial pivoting.  Throws on singular A.
+std::vector<double> solve(const Matrix& a, const std::vector<double>& b);
+
+/// Matrix inverse via LU.  Throws on singular input.
+Matrix inverse(const Matrix& a);
+
+/// Determinant via LU.
+double determinant(const Matrix& a);
+
+/// Eigenvalues of a symmetric 2x2 matrix, ascending.
+std::pair<double, double> sym2x2_eigenvalues(const Matrix& a);
+
+}  // namespace vbsrm::math

@@ -1,0 +1,211 @@
+#include "math/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace vbsrm::math {
+
+namespace {
+
+OptimResult nelder_mead_once(const ObjectiveFn& f, std::vector<double> x0,
+                             const NelderMeadOptions& opt) {
+  const std::size_t n = x0.size();
+  if (n == 0) throw std::invalid_argument("nelder_mead: empty start point");
+
+  // Build the initial simplex by perturbing each coordinate.
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double& xi = simplex[i + 1][i];
+    const double step = opt.initial_step * std::max(std::abs(xi), 1e-4);
+    xi += step;
+  }
+  std::vector<double> fv(n + 1);
+  int evals = 0;
+  for (std::size_t i = 0; i <= n; ++i) {
+    fv[i] = f(simplex[i]);
+    ++evals;
+  }
+
+  constexpr double alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
+  std::vector<std::size_t> order(n + 1);
+
+  for (int it = 0; it < opt.max_iter; ++it) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fv[a] < fv[b]; });
+    const std::size_t best = order[0], worst = order[n],
+                      second_worst = order[n - 1];
+
+    // Convergence: function spread and simplex diameter.
+    double diam = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      diam = std::max(diam, std::abs(simplex[worst][i] - simplex[best][i]) /
+                                std::max(1.0, std::abs(simplex[best][i])));
+    }
+    if (std::abs(fv[worst] - fv[best]) <=
+            opt.f_tol * (std::abs(fv[best]) + opt.f_tol) &&
+        diam <= opt.x_tol) {
+      return {simplex[best], fv[best], evals, true};
+    }
+
+    // Centroid of all but the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto along = [&](double t) {
+      std::vector<double> p(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        p[j] = centroid[j] + t * (centroid[j] - simplex[worst][j]);
+      }
+      return p;
+    };
+
+    const auto xr = along(alpha);
+    const double fr = f(xr);
+    ++evals;
+    if (fr < fv[best]) {
+      const auto xe = along(gamma);
+      const double fe = f(xe);
+      ++evals;
+      if (fe < fr) {
+        simplex[worst] = xe;
+        fv[worst] = fe;
+      } else {
+        simplex[worst] = xr;
+        fv[worst] = fr;
+      }
+    } else if (fr < fv[second_worst]) {
+      simplex[worst] = xr;
+      fv[worst] = fr;
+    } else {
+      const auto xc = along(fr < fv[worst] ? rho : -rho);
+      const double fc = f(xc);
+      ++evals;
+      if (fc < std::min(fr, fv[worst])) {
+        simplex[worst] = xc;
+        fv[worst] = fc;
+      } else {  // shrink towards the best vertex
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (std::size_t j = 0; j < n; ++j) {
+            simplex[i][j] =
+                simplex[best][j] + sigma * (simplex[i][j] - simplex[best][j]);
+          }
+          fv[i] = f(simplex[i]);
+          ++evals;
+        }
+      }
+    }
+  }
+
+  const auto it_best = std::min_element(fv.begin(), fv.end());
+  const std::size_t b = static_cast<std::size_t>(it_best - fv.begin());
+  return {simplex[b], fv[b], evals, false};
+}
+
+}  // namespace
+
+OptimResult nelder_mead(const ObjectiveFn& f, std::vector<double> x0,
+                        const NelderMeadOptions& opt) {
+  OptimResult r = nelder_mead_once(f, std::move(x0), opt);
+  for (int k = 1; k < opt.restarts; ++k) {
+    OptimResult r2 = nelder_mead_once(f, r.x, opt);
+    r2.evaluations += r.evaluations;
+    r2.converged = r2.converged || r.converged;
+    if (r2.f <= r.f) r = std::move(r2);
+  }
+  return r;
+}
+
+OptimResult golden_section(const std::function<double(double)>& f, double a,
+                           double b, double x_tol, int max_iter) {
+  constexpr double inv_phi = 0.6180339887498949;
+  double x1 = b - inv_phi * (b - a);
+  double x2 = a + inv_phi * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  int evals = 2;
+  for (int it = 0; it < max_iter; ++it) {
+    if (std::abs(b - a) <= x_tol * (std::abs(a) + std::abs(b) + 1.0)) break;
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - inv_phi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + inv_phi * (b - a);
+      f2 = f(x2);
+    }
+    ++evals;
+  }
+  const double xm = 0.5 * (a + b);
+  return {{xm}, f(xm), evals + 1, true};
+}
+
+std::vector<double> numeric_gradient(const ObjectiveFn& f,
+                                     const std::vector<double>& x,
+                                     double rel_step) {
+  const std::size_t n = x.size();
+  std::vector<double> g(n);
+  std::vector<double> xp = x;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double h = rel_step * std::max(std::abs(x[i]), 1e-8);
+    xp[i] = x[i] + h;
+    const double fp = f(xp);
+    xp[i] = x[i] - h;
+    const double fm = f(xp);
+    xp[i] = x[i];
+    g[i] = (fp - fm) / (2.0 * h);
+  }
+  return g;
+}
+
+std::vector<double> numeric_hessian(const ObjectiveFn& f,
+                                    const std::vector<double>& x,
+                                    double rel_step) {
+  const std::size_t n = x.size();
+  std::vector<double> h(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    h[i] = rel_step * std::max(std::abs(x[i]), 1e-8);
+  }
+  std::vector<double> H(n * n, 0.0);
+  const double f0 = f(x);
+  std::vector<double> xp = x;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    xp[i] = x[i] + h[i];
+    const double fp = f(xp);
+    xp[i] = x[i] - h[i];
+    const double fm = f(xp);
+    xp[i] = x[i];
+    H[i * n + i] = (fp - 2.0 * f0 + fm) / (h[i] * h[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      xp[i] = x[i] + h[i]; xp[j] = x[j] + h[j];
+      const double fpp = f(xp);
+      xp[j] = x[j] - h[j];
+      const double fpm = f(xp);
+      xp[i] = x[i] - h[i]; xp[j] = x[j] + h[j];
+      const double fmp = f(xp);
+      xp[j] = x[j] - h[j];
+      const double fmm = f(xp);
+      xp[i] = x[i]; xp[j] = x[j];
+      const double v = (fpp - fpm - fmp + fmm) / (4.0 * h[i] * h[j]);
+      H[i * n + j] = v;
+      H[j * n + i] = v;
+    }
+  }
+  return H;
+}
+
+}  // namespace vbsrm::math

@@ -1,0 +1,47 @@
+// Derivative-free and quasi-Newton optimization plus numeric
+// differentiation, sized for the 2-4 parameter problems that NHPP
+// fitting and MAP estimation pose.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace vbsrm::math {
+
+using ObjectiveFn = std::function<double(const std::vector<double>&)>;
+
+struct OptimResult {
+  std::vector<double> x;  // minimizer
+  double f = 0.0;         // objective value at x
+  int evaluations = 0;
+  bool converged = false;
+};
+
+struct NelderMeadOptions {
+  double x_tol = 1e-10;   // simplex size tolerance (relative)
+  double f_tol = 1e-12;   // spread of objective values tolerance
+  int max_iter = 5000;
+  double initial_step = 0.1;  // relative perturbation building the simplex
+  int restarts = 1;           // re-run from the found optimum this many times
+};
+
+/// Nelder-Mead simplex minimization of f starting from x0.
+OptimResult nelder_mead(const ObjectiveFn& f, std::vector<double> x0,
+                        const NelderMeadOptions& opt = {});
+
+/// Golden-section minimization of a 1-D unimodal function on [a, b].
+OptimResult golden_section(const std::function<double(double)>& f, double a,
+                           double b, double x_tol = 1e-12,
+                           int max_iter = 200);
+
+/// Central-difference gradient of f at x.
+std::vector<double> numeric_gradient(const ObjectiveFn& f,
+                                     const std::vector<double>& x,
+                                     double rel_step = 1e-6);
+
+/// Central-difference Hessian (symmetric, row-major n*n).
+std::vector<double> numeric_hessian(const ObjectiveFn& f,
+                                    const std::vector<double>& x,
+                                    double rel_step = 5e-5);
+
+}  // namespace vbsrm::math

@@ -1,0 +1,147 @@
+#include "math/quadrature.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vbsrm::math {
+
+GaussLegendre::GaussLegendre(int n) {
+  if (n < 1) throw std::invalid_argument("GaussLegendre: n must be >= 1");
+  nodes_.resize(n);
+  weights_.resize(n);
+  // Newton iteration on P_n with the Chebyshev-like initial guess.
+  const int m = (n + 1) / 2;
+  for (int i = 0; i < m; ++i) {
+    double x = std::cos(M_PI * (i + 0.75) / (n + 0.5));
+    double pp = 0.0;
+    for (int it = 0; it < 100; ++it) {
+      // Evaluate P_n(x) and P_{n-1}(x) by the three-term recurrence.
+      double p0 = 1.0, p1 = x;
+      for (int k = 2; k <= n; ++k) {
+        const double p2 = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+        p0 = p1;
+        p1 = p2;
+      }
+      // P'_n(x) = n (x P_n - P_{n-1}) / (x^2 - 1)
+      pp = n * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / pp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    nodes_[i] = -x;
+    nodes_[n - 1 - i] = x;
+    const double w = 2.0 / ((1.0 - x * x) * pp * pp);
+    weights_[i] = w;
+    weights_[n - 1 - i] = w;
+  }
+  if (n % 2 == 1) nodes_[n / 2] = 0.0;  // exact symmetry for odd rules
+}
+
+double GaussLegendre::integrate(const std::function<double(double)>& f,
+                                double a, double b) const {
+  const double c = 0.5 * (a + b);
+  const double h = 0.5 * (b - a);
+  double s = 0.0;
+  for (int i = 0; i < size(); ++i) s += weights_[i] * f(c + h * nodes_[i]);
+  return s * h;
+}
+
+double GaussLegendre::integrate_composite(
+    const std::function<double(double)>& f, double a, double b,
+    int panels) const {
+  if (panels < 1) throw std::invalid_argument("panels must be >= 1");
+  const double w = (b - a) / panels;
+  double s = 0.0;
+  for (int p = 0; p < panels; ++p) s += integrate(f, a + p * w, a + (p + 1) * w);
+  return s;
+}
+
+namespace {
+
+double simpson(const std::function<double(double)>& f, double a, double fa,
+               double b, double fb, double c, double fc) {
+  return (b - a) / 6.0 * (fa + 4.0 * fc + fb);
+}
+
+double adaptive_simpson_rec(const std::function<double(double)>& f, double a,
+                            double fa, double b, double fb, double c,
+                            double fc, double whole, double abs_tol,
+                            double rel_tol, int depth) {
+  const double l = 0.5 * (a + c), r = 0.5 * (c + b);
+  const double fl = f(l), fr = f(r);
+  const double left = simpson(f, a, fa, c, fc, l, fl);
+  const double right = simpson(f, c, fc, b, fb, r, fr);
+  const double err = left + right - whole;
+  const double tol = std::max(abs_tol, rel_tol * std::abs(left + right));
+  if (depth <= 0 || std::abs(err) <= 15.0 * tol) {
+    return left + right + err / 15.0;
+  }
+  return adaptive_simpson_rec(f, a, fa, c, fc, l, fl, left, 0.5 * abs_tol,
+                              rel_tol, depth - 1) +
+         adaptive_simpson_rec(f, c, fc, b, fb, r, fr, right, 0.5 * abs_tol,
+                              rel_tol, depth - 1);
+}
+
+}  // namespace
+
+double adaptive_simpson(const std::function<double(double)>& f, double a,
+                        double b, double abs_tol, double rel_tol,
+                        int max_depth) {
+  const double c = 0.5 * (a + b);
+  const double fa = f(a), fb = f(b), fc = f(c);
+  const double whole = simpson(f, a, fa, b, fb, c, fc);
+  return adaptive_simpson_rec(f, a, fa, b, fb, c, fc, whole, abs_tol, rel_tol,
+                              max_depth);
+}
+
+double integrate_semi_infinite(const std::function<double(double)>& f,
+                               double a, int panels, int order,
+                               double scale) {
+  if (!(scale > 0.0)) throw std::invalid_argument("scale must be > 0");
+  const GaussLegendre gl(order);
+  // x = a + scale * t/(1-t); dx = scale dt/(1-t)^2; t in [0, 1).
+  auto g = [&](double t) {
+    const double om = 1.0 - t;
+    const double x = a + scale * t / om;
+    return f(x) * scale / (om * om);
+  };
+  // Stop slightly short of t=1: the integrand must decay fast enough
+  // that the truncated sliver is negligible (true for exponential tails).
+  return gl.integrate_composite(g, 0.0, 1.0 - 1e-12, panels);
+}
+
+ProductGrid make_product_grid(double ax, double bx, double ay, double by,
+                              int panels, int order) {
+  const GaussLegendre gl(order);
+  ProductGrid g;
+  auto fill_axis = [&](double lo, double hi, std::vector<double>& xs,
+                       std::vector<double>& ws) {
+    const double w = (hi - lo) / panels;
+    for (int p = 0; p < panels; ++p) {
+      const double c = lo + (p + 0.5) * w;
+      const double h = 0.5 * w;
+      for (int i = 0; i < gl.size(); ++i) {
+        xs.push_back(c + h * gl.nodes()[i]);
+        ws.push_back(h * gl.weights()[i]);
+      }
+    }
+  };
+  fill_axis(ax, bx, g.x, g.wx);
+  fill_axis(ay, by, g.y, g.wy);
+  return g;
+}
+
+double integrate_2d(const ProductGrid& g,
+                    const std::function<double(double, double)>& f) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < g.x.size(); ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < g.y.size(); ++j) {
+      row += g.wy[j] * f(g.x[i], g.y[j]);
+    }
+    s += g.wx[i] * row;
+  }
+  return s;
+}
+
+}  // namespace vbsrm::math

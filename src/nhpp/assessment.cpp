@@ -1,0 +1,119 @@
+#include "nhpp/assessment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/specfun.hpp"
+#include "nhpp/fit.hpp"
+#include "nhpp/model.hpp"
+
+namespace vbsrm::nhpp {
+
+SequentialAssessment assess_one_step_ahead(double alpha0,
+                                           const data::FailureTimeData& d,
+                                           std::size_t warmup) {
+  if (warmup < 2) {
+    throw std::invalid_argument("assess_one_step_ahead: warmup >= 2");
+  }
+  if (d.count() <= warmup) {
+    throw std::invalid_argument(
+        "assess_one_step_ahead: not enough failures beyond the warmup");
+  }
+  SequentialAssessment out;
+  const auto& times = d.times();
+
+  FitOptions opt;
+  opt.compute_covariance = false;
+  std::pair<double, double> warm_start{0.0, 0.0};
+
+  for (std::size_t i = warmup; i < times.size(); ++i) {
+    // Fit on the first i failures, censored at the i-th failure time
+    // (the information available just before the next failure).
+    const double t_prev = times[i - 1];
+    std::vector<double> history(times.begin(),
+                                times.begin() + static_cast<long>(i));
+    const data::FailureTimeData past(std::move(history), t_prev);
+    if (warm_start.first > 0.0) opt.start = warm_start;
+    const auto fit = fit_em(alpha0, past, opt);
+    warm_start = {fit.omega, fit.beta};
+
+    const GammaTypeModel model(alpha0, fit.omega, fit.beta);
+    const double t_next = times[i];
+    // Predictive law of the next failure time T given t_prev:
+    //   F_hat(t) = 1 - R(t | t_prev) = 1 - exp(-(Lambda(t)-Lambda(t_prev)))
+    const double inc = model.mean_value(t_next) - model.mean_value(t_prev);
+    const double u = -std::expm1(-inc);
+    out.u.push_back(std::clamp(u, 0.0, 1.0));
+    // Density of the next failure time: f(t) = lambda(t) e^{-inc}.
+    const double log_f = std::log(std::max(model.intensity(t_next), 1e-300)) -
+                         inc;
+    out.prequential_log_likelihood += log_f;
+  }
+
+  out.predictions = out.u.size();
+  auto uniform_cdf = [](double x) { return std::clamp(x, 0.0, 1.0); };
+  const auto ks = stats::ks_test(out.u, uniform_cdf);
+  out.u_plot_distance = ks.statistic;
+  out.u_plot_pvalue = ks.p_value;
+  return out;
+}
+
+GroupedAssessment assess_one_step_ahead(double alpha0,
+                                        const data::GroupedData& d,
+                                        std::size_t warmup) {
+  if (warmup < 2 || warmup >= d.intervals()) {
+    throw std::invalid_argument(
+        "assess_one_step_ahead(grouped): need 2 <= warmup < intervals");
+  }
+  GroupedAssessment out;
+  FitOptions opt;
+  opt.compute_covariance = false;
+  std::pair<double, double> warm_start{0.0, 0.0};
+
+  for (std::size_t i = warmup; i < d.intervals(); ++i) {
+    std::vector<double> bounds(d.boundaries().begin(),
+                               d.boundaries().begin() + static_cast<long>(i));
+    std::vector<std::size_t> counts(d.counts().begin(),
+                                    d.counts().begin() + static_cast<long>(i));
+    const data::GroupedData past(std::move(bounds), std::move(counts));
+    if (past.total_failures() < 2) continue;  // not enough signal yet
+    if (warm_start.first > 0.0) opt.start = warm_start;
+    const auto fit = fit_em(alpha0, past, opt);
+    warm_start = {fit.omega, fit.beta};
+
+    const GammaTypeModel model(alpha0, fit.omega, fit.beta);
+    const double mu = model.mean_value(d.right_edge(i)) -
+                      model.mean_value(d.left_edge(i));
+    const double x = static_cast<double>(d.counts()[i]);
+    // Poisson log pmf.
+    out.prequential_log_likelihood +=
+        x * std::log(std::max(mu, 1e-300)) - mu -
+        vbsrm::math::log_gamma(x + 1.0);
+    // Mid-p PIT: P(X < x) + 0.5 P(X = x).
+    double cdf_below = 0.0, pmf_at = std::exp(-mu);
+    for (double k = 0.0; k < x; k += 1.0) {
+      cdf_below += pmf_at;
+      pmf_at *= mu / (k + 1.0);
+    }
+    out.mid_p.push_back(cdf_below + 0.5 * pmf_at);
+    ++out.predictions;
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> prequential_ranking(
+    const std::vector<double>& alpha0s, const data::FailureTimeData& d,
+    std::size_t warmup) {
+  std::vector<std::pair<double, double>> out;
+  for (double a : alpha0s) {
+    const auto assess = assess_one_step_ahead(a, d, warmup);
+    out.emplace_back(a, assess.prequential_log_likelihood);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    return x.second > y.second;
+  });
+  return out;
+}
+
+}  // namespace vbsrm::nhpp

@@ -1,0 +1,70 @@
+// Sequential predictive-quality assessment of software reliability
+// models (Abdel-Ghaly/Chan/Littlewood's u-plot and prequential
+// likelihood; see Lyu, Handbook of Software Reliability Engineering,
+// ch. 4).  These tools judge a model by how well its *one-step-ahead
+// predictions* matched the failures that subsequently occurred —
+// exactly what a project manager consumes.
+//
+// For each i > warmup the model is refitted (EM) to t_1..t_{i-1} and
+// the i-th failure is scored:
+//   u_i = F_hat_i(t_i) = 1 - R_hat(t_i | t_{i-1}),
+// which is U(0,1) under perfect prediction, and the prequential
+// log-likelihood adds log f_hat_i(t_i).
+#pragma once
+
+#include <vector>
+
+#include "data/failure_data.hpp"
+#include "stats/gof.hpp"
+
+namespace vbsrm::nhpp {
+
+struct SequentialAssessment {
+  /// One-step-ahead probability-integral transforms u_i (size =
+  /// failures - warmup), U(0,1) iff the predictions were calibrated.
+  std::vector<double> u;
+  /// Prequential log-likelihood sum_i log f_hat_i(t_i): higher is
+  /// better; differences between models behave like log Bayes factors.
+  double prequential_log_likelihood = 0.0;
+  /// KS distance of the u_i against U(0,1) — the u-plot statistic.
+  double u_plot_distance = 0.0;
+  /// p-value of that KS distance.
+  double u_plot_pvalue = 0.0;
+  /// Number of predictions scored.
+  std::size_t predictions = 0;
+};
+
+/// Run the one-step-ahead assessment for a gamma-type model with fixed
+/// alpha0, refitting by EM before each prediction.  `warmup` failures
+/// are used for the initial fit (must be >= 2).
+SequentialAssessment assess_one_step_ahead(double alpha0,
+                                           const data::FailureTimeData& d,
+                                           std::size_t warmup = 5);
+
+/// Compare a set of alpha0 values by prequential likelihood on the same
+/// data; returns pairs (alpha0, prequential log-likelihood) sorted best
+/// first.
+std::vector<std::pair<double, double>> prequential_ranking(
+    const std::vector<double>& alpha0s, const data::FailureTimeData& d,
+    std::size_t warmup = 5);
+
+struct GroupedAssessment {
+  /// Prequential log-likelihood: sum over intervals i > warmup of
+  /// log Poisson(x_i; Lambda_hat_i increment), each Lambda_hat fitted
+  /// to the data through interval i-1.
+  double prequential_log_likelihood = 0.0;
+  /// Mid-p probability-integral transforms of the observed counts
+  /// against the one-step-ahead Poisson predictive (calibrated
+  /// predictions give roughly U(0,1) values despite discreteness).
+  std::vector<double> mid_p;
+  std::size_t predictions = 0;
+};
+
+/// One-interval-ahead assessment for grouped data (plug-in Poisson
+/// predictive from the EM refit).  `warmup` intervals (containing at
+/// least 2 failures) seed the first fit.
+GroupedAssessment assess_one_step_ahead(double alpha0,
+                                        const data::GroupedData& d,
+                                        std::size_t warmup = 8);
+
+}  // namespace vbsrm::nhpp

@@ -1,0 +1,365 @@
+#include "nhpp/families.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "math/optimize.hpp"
+#include "math/roots.hpp"
+#include "math/specfun.hpp"
+#include "random/distributions.hpp"
+
+namespace vbsrm::nhpp::families {
+
+namespace m = vbsrm::math;
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+Family::Family(std::string name, std::vector<std::string> param_names,
+               std::function<double(double, Params)> cdf,
+               std::function<double(double, Params)> log_pdf,
+               std::function<std::vector<double>(double)> default_start,
+               std::function<std::vector<double>(Params)> natural)
+    : name_(std::move(name)),
+      param_names_(std::move(param_names)),
+      cdf_(std::move(cdf)),
+      log_pdf_(std::move(log_pdf)),
+      start_(std::move(default_start)),
+      natural_(std::move(natural)) {}
+
+double Family::pdf(double t, Params w) const {
+  const double lp = log_pdf(t, w);
+  return std::isfinite(lp) ? std::exp(lp) : 0.0;
+}
+
+double Family::interval_mass(double a, double b, Params w) const {
+  if (!(b > a) || a < 0.0) {
+    throw std::invalid_argument("interval_mass: need 0 <= a < b");
+  }
+  const double fb = std::isfinite(b) ? cdf(b, w) : 1.0;
+  return std::clamp(fb - cdf(a, w), 0.0, 1.0);
+}
+
+std::string Family::describe(Params w) const {
+  std::ostringstream os;
+  os << name_ << "(";
+  const auto nat = natural(w);
+  for (std::size_t i = 0; i < nat.size(); ++i) {
+    if (i) os << ", ";
+    os << param_names_[i] << "=" << nat[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+double Family::sample(random::Rng& rng, Params w) const {
+  const double u = rng.next_open();
+  auto f = [&](double t) { return cdf(t, w) - u; };
+  // Bracket the quantile geometrically.
+  double hi = 1.0;
+  int guard = 0;
+  while (f(hi) < 0.0 && guard++ < 400) hi *= 1.9;
+  const auto r = m::brent(f, 0.0, hi, 1e-12, 300);
+  return std::max(r.x, std::numeric_limits<double>::min());
+}
+
+// ---------------------------------------------------------------------------
+// Family definitions.  w holds unconstrained values; positives go
+// through exp().
+
+const Family& exponential() {
+  static const Family f(
+      "exponential", {"rate"},
+      [](double t, Family::Params w) {
+        if (t <= 0.0) return 0.0;
+        return -std::expm1(-std::exp(w[0]) * t);
+      },
+      [](double t, Family::Params w) {
+        if (t <= 0.0) return kNegInf;
+        const double b = std::exp(w[0]);
+        return std::log(b) - b * t;
+      },
+      [](double horizon) {
+        return std::vector<double>{std::log(1.0 / (0.6 * horizon))};
+      },
+      [](Family::Params w) { return std::vector<double>{std::exp(w[0])}; });
+  return f;
+}
+
+const Family& rayleigh() {
+  static const Family f(
+      "rayleigh", {"scale"},
+      [](double t, Family::Params w) {
+        if (t <= 0.0) return 0.0;
+        const double z = t / std::exp(w[0]);
+        return -std::expm1(-0.5 * z * z);
+      },
+      [](double t, Family::Params w) {
+        if (t <= 0.0) return kNegInf;
+        const double s = std::exp(w[0]);
+        const double z = t / s;
+        return std::log(t) - 2.0 * std::log(s) - 0.5 * z * z;
+      },
+      [](double horizon) {
+        return std::vector<double>{std::log(0.5 * horizon)};
+      },
+      [](Family::Params w) { return std::vector<double>{std::exp(w[0])}; });
+  return f;
+}
+
+const Family& weibull() {
+  static const Family f(
+      "weibull", {"rate", "shape"},
+      [](double t, Family::Params w) {
+        if (t <= 0.0) return 0.0;
+        const double b = std::exp(w[0]), k = std::exp(w[1]);
+        return -std::expm1(-std::pow(b * t, k));
+      },
+      [](double t, Family::Params w) {
+        if (t <= 0.0) return kNegInf;
+        const double b = std::exp(w[0]), k = std::exp(w[1]);
+        const double z = b * t;
+        return std::log(k) + std::log(b) + (k - 1.0) * std::log(z) -
+               std::pow(z, k);
+      },
+      [](double horizon) {
+        return std::vector<double>{std::log(1.0 / (0.6 * horizon)), 0.0};
+      },
+      [](Family::Params w) {
+        return std::vector<double>{std::exp(w[0]), std::exp(w[1])};
+      });
+  return f;
+}
+
+const Family& gamma_free() {
+  static const Family f(
+      "gamma", {"rate", "shape"},
+      [](double t, Family::Params w) {
+        if (t <= 0.0) return 0.0;
+        return m::gamma_p(std::exp(w[1]), std::exp(w[0]) * t);
+      },
+      [](double t, Family::Params w) {
+        if (t <= 0.0) return kNegInf;
+        const double b = std::exp(w[0]), k = std::exp(w[1]);
+        return k * std::log(b) + (k - 1.0) * std::log(t) - b * t -
+               m::log_gamma(k);
+      },
+      [](double horizon) {
+        return std::vector<double>{std::log(1.0 / (0.6 * horizon)), 0.0};
+      },
+      [](Family::Params w) {
+        return std::vector<double>{std::exp(w[0]), std::exp(w[1])};
+      });
+  return f;
+}
+
+const Family& lognormal() {
+  static const Family f(
+      "lognormal", {"mu", "sigma"},
+      [](double t, Family::Params w) {
+        if (t <= 0.0) return 0.0;
+        return m::normal_cdf((std::log(t) - w[0]) / std::exp(w[1]));
+      },
+      [](double t, Family::Params w) {
+        if (t <= 0.0) return kNegInf;
+        const double s = std::exp(w[1]);
+        const double z = (std::log(t) - w[0]) / s;
+        return -std::log(t) - std::log(s) - 0.5 * std::log(2.0 * M_PI) -
+               0.5 * z * z;
+      },
+      [](double horizon) {
+        return std::vector<double>{std::log(0.4 * horizon),
+                                   std::log(1.0)};
+      },
+      [](Family::Params w) {
+        return std::vector<double>{w[0], std::exp(w[1])};
+      });
+  return f;
+}
+
+const Family& pareto() {
+  static const Family f(
+      "pareto", {"scale", "shape"},
+      [](double t, Family::Params w) {
+        if (t <= 0.0) return 0.0;
+        const double s = std::exp(w[0]), k = std::exp(w[1]);
+        return -std::expm1(-k * std::log1p(t / s));
+      },
+      [](double t, Family::Params w) {
+        if (t <= 0.0) return kNegInf;
+        const double s = std::exp(w[0]), k = std::exp(w[1]);
+        return std::log(k) - std::log(s) - (k + 1.0) * std::log1p(t / s);
+      },
+      [](double horizon) {
+        return std::vector<double>{std::log(0.3 * horizon), std::log(1.5)};
+      },
+      [](Family::Params w) {
+        return std::vector<double>{std::exp(w[0]), std::exp(w[1])};
+      });
+  return f;
+}
+
+const Family& loglogistic() {
+  static const Family f(
+      "loglogistic", {"scale", "shape"},
+      [](double t, Family::Params w) {
+        if (t <= 0.0) return 0.0;
+        const double s = std::exp(w[0]), k = std::exp(w[1]);
+        return 1.0 / (1.0 + std::pow(t / s, -k));
+      },
+      [](double t, Family::Params w) {
+        if (t <= 0.0) return kNegInf;
+        const double s = std::exp(w[0]), k = std::exp(w[1]);
+        const double lz = std::log(t / s);
+        // f(t) = (k/s)(t/s)^{k-1} / (1 + (t/s)^k)^2
+        return std::log(k) - std::log(s) + (k - 1.0) * lz -
+               2.0 * m::log_add_exp(0.0, k * lz);
+      },
+      [](double horizon) {
+        return std::vector<double>{std::log(0.4 * horizon), std::log(2.0)};
+      },
+      [](Family::Params w) {
+        return std::vector<double>{std::exp(w[0]), std::exp(w[1])};
+      });
+  return f;
+}
+
+std::vector<const Family*> all_families() {
+  return {&exponential(), &rayleigh(),  &weibull(),     &gamma_free(),
+          &lognormal(),   &pareto(),    &loglogistic()};
+}
+
+const Family* find_family(const std::string& name) {
+  for (const Family* f : all_families()) {
+    if (f->name() == name) return f;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Generic likelihood and MLE.
+
+double family_log_likelihood(const Family& family, double omega,
+                             Family::Params w,
+                             const data::FailureTimeData& d) {
+  if (!(omega > 0.0)) return kNegInf;
+  double ll = 0.0;
+  for (double t : d.times()) ll += family.log_pdf(t, w);
+  ll += static_cast<double>(d.count()) * std::log(omega);
+  ll -= omega * family.cdf(d.observation_end(), w);
+  return ll;
+}
+
+double family_log_likelihood(const Family& family, double omega,
+                             Family::Params w, const data::GroupedData& d) {
+  if (!(omega > 0.0)) return kNegInf;
+  double ll = 0.0;
+  for (std::size_t i = 0; i < d.intervals(); ++i) {
+    const double x = static_cast<double>(d.counts()[i]);
+    if (x > 0.0) {
+      const double mass =
+          family.interval_mass(d.left_edge(i), d.right_edge(i), w);
+      if (!(mass > 0.0)) return kNegInf;
+      ll += x * std::log(mass);
+    }
+    ll -= m::log_gamma(x + 1.0);
+  }
+  ll += static_cast<double>(d.total_failures()) * std::log(omega);
+  ll -= omega * family.cdf(d.observation_end(), w);
+  return ll;
+}
+
+namespace {
+
+template <typename Data>
+FamilyFit fit_family_impl(const Family& family, const Data& d,
+                          std::size_t failures) {
+  if (failures == 0) {
+    throw std::invalid_argument("fit_family: no failures observed");
+  }
+  FamilyFit fit;
+  fit.family = &family;
+
+  std::vector<double> x0 = family.default_start(d.observation_end());
+  x0.insert(x0.begin(), std::log(1.3 * static_cast<double>(failures)));
+
+  auto nll = [&](const std::vector<double>& p) {
+    const double omega = std::exp(p[0]);
+    const std::span<const double> w(p.data() + 1, p.size() - 1);
+    const double ll = family_log_likelihood(family, omega, w, d);
+    return std::isfinite(ll) ? -ll : 1e300;
+  };
+  m::NelderMeadOptions nm;
+  nm.max_iter = 20000;
+  nm.restarts = 2;
+  const auto sol = m::nelder_mead(nll, std::move(x0), nm);
+
+  fit.omega = std::exp(sol.x[0]);
+  fit.working.assign(sol.x.begin() + 1, sol.x.end());
+  fit.natural = family.natural(fit.working);
+  fit.log_likelihood = -sol.f;
+  fit.aic = 2.0 * static_cast<double>(1 + family.param_count()) -
+            2.0 * fit.log_likelihood;
+  fit.converged = sol.converged && sol.f < 1e299;
+  return fit;
+}
+
+template <typename Data>
+std::vector<FamilyFit> rank_families_impl(const Data& d) {
+  std::vector<FamilyFit> fits;
+  for (const Family* f : all_families()) {
+    try {
+      auto fit = fit_family(*f, d);
+      if (fit.converged && std::isfinite(fit.aic)) {
+        fits.push_back(std::move(fit));
+      }
+    } catch (const std::exception&) {
+      // A family that cannot be fitted to this data set is skipped.
+    }
+  }
+  std::sort(fits.begin(), fits.end(),
+            [](const FamilyFit& a, const FamilyFit& b) {
+              return a.aic < b.aic;
+            });
+  return fits;
+}
+
+}  // namespace
+
+FamilyFit fit_family(const Family& family, const data::FailureTimeData& d) {
+  return fit_family_impl(family, d, d.count());
+}
+
+FamilyFit fit_family(const Family& family, const data::GroupedData& d) {
+  return fit_family_impl(family, d, d.total_failures());
+}
+
+std::vector<FamilyFit> rank_families(const data::FailureTimeData& d) {
+  return rank_families_impl(d);
+}
+
+std::vector<FamilyFit> rank_families(const data::GroupedData& d) {
+  return rank_families_impl(d);
+}
+
+data::FailureTimeData simulate_family(random::Rng& rng, const Family& family,
+                                      double omega, Family::Params w,
+                                      double te) {
+  if (!(omega > 0.0) || !(te > 0.0)) {
+    throw std::invalid_argument("simulate_family: bad omega/te");
+  }
+  const auto n = random::sample_poisson(rng, omega);
+  std::vector<double> times;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double y = family.sample(rng, w);
+    if (y <= te) times.push_back(y);
+  }
+  std::sort(times.begin(), times.end());
+  return data::FailureTimeData(std::move(times), te);
+}
+
+}  // namespace vbsrm::nhpp::families

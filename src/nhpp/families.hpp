@@ -1,0 +1,120 @@
+// A zoo of finite-failures NHPP model families beyond the gamma type.
+//
+// Every family is a parametric failure-time distribution F(t; theta):
+// the mean value function is Lambda(t) = omega * F(t; theta) (paper
+// Sec. 2 — the class is closed under any proper F).  The gamma-type
+// family of the paper (Goel-Okumoto, delayed S-shaped) lives in
+// model.hpp with its conjugate machinery; the families here extend the
+// library to the wider model set used in practice (Lyu's handbook):
+// Weibull-type (Goel's generalized model), Rayleigh, Pareto (Littlewood),
+// log-normal, log-logistic, and gamma with a *free* shape.
+//
+// Parameterization: estimation works on an unconstrained "working"
+// vector w (optimizers like Nelder-Mead need R^k); each family maps w
+// to its natural parameters internally (exp for positive quantities,
+// identity for location parameters).  `describe` renders the natural
+// values for reporting.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/failure_data.hpp"
+#include "random/rng.hpp"
+
+namespace vbsrm::nhpp::families {
+
+class Family {
+ public:
+  using Params = std::span<const double>;
+
+  Family(std::string name, std::vector<std::string> param_names,
+         std::function<double(double, Params)> cdf,
+         std::function<double(double, Params)> log_pdf,
+         std::function<std::vector<double>(double)> default_start,
+         std::function<std::vector<double>(Params)> natural);
+
+  const std::string& name() const { return name_; }
+  std::size_t param_count() const { return param_names_.size(); }
+  const std::vector<std::string>& param_names() const { return param_names_; }
+
+  /// F(t; w) with w the unconstrained working parameters.
+  double cdf(double t, Params w) const { return cdf_(t, w); }
+  double log_pdf(double t, Params w) const { return log_pdf_(t, w); }
+  double pdf(double t, Params w) const;
+  double survival(double t, Params w) const { return 1.0 - cdf(t, w); }
+  /// F(b) - F(a), clamped to [0, 1].
+  double interval_mass(double a, double b, Params w) const;
+
+  /// Heuristic unconstrained start for data observed on (0, horizon].
+  std::vector<double> default_start(double horizon) const {
+    return start_(horizon);
+  }
+  /// Natural-space values of the working parameters (for reporting).
+  std::vector<double> natural(Params w) const { return natural_(w); }
+  std::string describe(Params w) const;
+
+  /// Draw one failure time by inverse-cdf sampling (generic; used by
+  /// simulation and tests).
+  double sample(random::Rng& rng, Params w) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> param_names_;
+  std::function<double(double, Params)> cdf_;
+  std::function<double(double, Params)> log_pdf_;
+  std::function<std::vector<double>(double)> start_;
+  std::function<std::vector<double>(Params)> natural_;
+};
+
+/// The registry.  References remain valid for the program lifetime.
+const Family& exponential();   // F = 1 - e^{-bt}          (Goel-Okumoto)
+const Family& rayleigh();      // F = 1 - e^{-(t/s)^2 / 2}
+const Family& weibull();       // F = 1 - e^{-(bt)^k}      (generalized Goel)
+const Family& gamma_free();    // F = P(k, bt), k free     (gamma-type, free shape)
+const Family& lognormal();     // F = Phi((ln t - mu)/sigma)
+const Family& pareto();        // F = 1 - (1 + t/s)^{-k}   (Littlewood)
+const Family& loglogistic();   // F = 1 / (1 + (t/s)^{-k})
+
+/// All registered families, in a stable order.
+std::vector<const Family*> all_families();
+
+/// Find by name (exact); nullptr if unknown.
+const Family* find_family(const std::string& name);
+
+/// MLE of (omega, theta) for an arbitrary family.
+struct FamilyFit {
+  const Family* family = nullptr;
+  double omega = 0.0;
+  std::vector<double> working;      // unconstrained parameters
+  std::vector<double> natural;      // natural-space parameters
+  double log_likelihood = 0.0;
+  double aic = 0.0;
+  bool converged = false;
+};
+
+FamilyFit fit_family(const Family& family, const data::FailureTimeData& d);
+FamilyFit fit_family(const Family& family, const data::GroupedData& d);
+
+/// Fit every registered family and return the results sorted by AIC
+/// (best first).  Families whose optimization fails are skipped.
+std::vector<FamilyFit> rank_families(const data::FailureTimeData& d);
+std::vector<FamilyFit> rank_families(const data::GroupedData& d);
+
+/// Log-likelihood of a fitted family (both data schemes), exposed for
+/// tests and custom criteria.
+double family_log_likelihood(const Family& family, double omega,
+                             Family::Params w,
+                             const data::FailureTimeData& d);
+double family_log_likelihood(const Family& family, double omega,
+                             Family::Params w, const data::GroupedData& d);
+
+/// Simulate a finite-failures NHPP with the given family: N ~
+/// Poisson(omega), times i.i.d. from F, keep those <= te.
+data::FailureTimeData simulate_family(random::Rng& rng, const Family& family,
+                                      double omega, Family::Params w,
+                                      double te);
+
+}  // namespace vbsrm::nhpp::families

@@ -1,0 +1,193 @@
+#include "nhpp/fit.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "math/optimize.hpp"
+#include "math/specfun.hpp"
+#include "nhpp/likelihood.hpp"
+
+namespace vbsrm::nhpp {
+
+namespace m = vbsrm::math;
+
+namespace {
+
+/// E-step sufficient statistics: expected total fault count and
+/// expected sum of all N failure times, given current (omega, beta).
+struct EStep {
+  double expected_n = 0.0;    // E[N | data]
+  double expected_sum = 0.0;  // E[sum_i T_i | data]
+};
+
+EStep e_step(double alpha0, double omega, double beta,
+             const data::FailureTimeData& d) {
+  const GammaFailureLaw law{alpha0};
+  const double te = d.observation_end();
+  const double er = omega * law.survival(te, beta);  // residual faults
+  EStep e;
+  e.expected_n = static_cast<double>(d.count()) + er;
+  e.expected_sum = d.total_time();
+  if (er > 0.0) {
+    e.expected_sum +=
+        er * law.truncated_mean(te, std::numeric_limits<double>::infinity(),
+                                beta);
+  }
+  return e;
+}
+
+EStep e_step(double alpha0, double omega, double beta,
+             const data::GroupedData& d) {
+  const GammaFailureLaw law{alpha0};
+  EStep e;
+  e.expected_n = static_cast<double>(d.total_failures());
+  for (std::size_t i = 0; i < d.intervals(); ++i) {
+    const double x = static_cast<double>(d.counts()[i]);
+    if (x > 0.0) {
+      e.expected_sum +=
+          x * law.truncated_mean(d.left_edge(i), d.right_edge(i), beta);
+    }
+  }
+  const double sk = d.observation_end();
+  const double er = omega * law.survival(sk, beta);
+  e.expected_n += er;
+  if (er > 0.0) {
+    e.expected_sum +=
+        er * law.truncated_mean(sk, std::numeric_limits<double>::infinity(),
+                                beta);
+  }
+  return e;
+}
+
+template <typename Data>
+FitResult fit_em_impl(double alpha0, const Data& d, const FitOptions& opt) {
+  const std::size_t failures =
+      [&] {
+        if constexpr (std::is_same_v<Data, data::FailureTimeData>) {
+          return d.count();
+        } else {
+          return d.total_failures();
+        }
+      }();
+  if (failures == 0) {
+    throw std::invalid_argument("fit_em: no failures observed");
+  }
+  auto [omega, beta] =
+      opt.start.value_or(default_start(alpha0, failures, d.observation_end()));
+
+  FitResult r;
+  for (int it = 1; it <= opt.max_iterations; ++it) {
+    const EStep e = e_step(alpha0, omega, beta, d);
+    // M-step: complete-data MLEs (Poisson mean; gamma rate, shape fixed).
+    const double omega_n = e.expected_n;
+    const double beta_n = e.expected_n * alpha0 / e.expected_sum;
+    const double delta = std::max(m::rel_diff(omega_n, omega),
+                                  m::rel_diff(beta_n, beta));
+    omega = omega_n;
+    beta = beta_n;
+    r.iterations = it;
+    if (delta < opt.rel_tol) {
+      r.converged = true;
+      break;
+    }
+  }
+  r.omega = omega;
+  r.beta = beta;
+  r.log_likelihood = log_likelihood_at(alpha0, omega, beta, d);
+  if (opt.compute_covariance) {
+    auto nll = [&](const std::vector<double>& p) {
+      return -log_likelihood_at(alpha0, p[0], p[1], d);
+    };
+    const auto h = m::numeric_hessian(nll, {omega, beta});
+    math::Matrix hess(2, 2);
+    hess(0, 0) = h[0]; hess(0, 1) = h[1]; hess(1, 0) = h[2]; hess(1, 1) = h[3];
+    try {
+      r.covariance = math::inverse(hess);
+    } catch (const std::domain_error&) {
+      r.covariance.reset();
+    }
+  }
+  return r;
+}
+
+template <typename Data>
+FitResult fit_direct_impl(double alpha0, const Data& d,
+                          const FitOptions& opt) {
+  const std::size_t failures =
+      [&] {
+        if constexpr (std::is_same_v<Data, data::FailureTimeData>) {
+          return d.count();
+        } else {
+          return d.total_failures();
+        }
+      }();
+  if (failures == 0) {
+    throw std::invalid_argument("fit_direct: no failures observed");
+  }
+  auto [omega0, beta0] =
+      opt.start.value_or(default_start(alpha0, failures, d.observation_end()));
+
+  auto nll = [&](const std::vector<double>& p) {
+    const double omega = std::exp(p[0]);
+    const double beta = std::exp(p[1]);
+    const double ll = log_likelihood_at(alpha0, omega, beta, d);
+    return std::isfinite(ll) ? -ll : 1e300;
+  };
+  m::NelderMeadOptions nm;
+  nm.max_iter = opt.max_iterations;
+  nm.restarts = 2;
+  const auto sol = m::nelder_mead(nll, {std::log(omega0), std::log(beta0)}, nm);
+
+  FitResult r;
+  r.omega = std::exp(sol.x[0]);
+  r.beta = std::exp(sol.x[1]);
+  r.log_likelihood = -sol.f;
+  r.iterations = sol.evaluations;
+  r.converged = sol.converged;
+  if (opt.compute_covariance) {
+    auto nll_nat = [&](const std::vector<double>& p) {
+      return -log_likelihood_at(alpha0, p[0], p[1], d);
+    };
+    const auto h = m::numeric_hessian(nll_nat, {r.omega, r.beta});
+    math::Matrix hess(2, 2);
+    hess(0, 0) = h[0]; hess(0, 1) = h[1]; hess(1, 0) = h[2]; hess(1, 1) = h[3];
+    try {
+      r.covariance = math::inverse(hess);
+    } catch (const std::domain_error&) {
+      r.covariance.reset();
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+FitResult fit_em(double alpha0, const data::FailureTimeData& d,
+                 const FitOptions& opt) {
+  return fit_em_impl(alpha0, d, opt);
+}
+
+FitResult fit_em(double alpha0, const data::GroupedData& d,
+                 const FitOptions& opt) {
+  return fit_em_impl(alpha0, d, opt);
+}
+
+FitResult fit_direct(double alpha0, const data::FailureTimeData& d,
+                     const FitOptions& opt) {
+  return fit_direct_impl(alpha0, d, opt);
+}
+
+FitResult fit_direct(double alpha0, const data::GroupedData& d,
+                     const FitOptions& opt) {
+  return fit_direct_impl(alpha0, d, opt);
+}
+
+std::pair<double, double> default_start(double alpha0, std::size_t failures,
+                                        double horizon) {
+  const double omega = 1.3 * static_cast<double>(failures);
+  // Mean of Gamma(alpha0, beta) is alpha0/beta; aim it at 0.6 * horizon.
+  const double beta = alpha0 / (0.6 * horizon);
+  return {omega, beta};
+}
+
+}  // namespace vbsrm::nhpp

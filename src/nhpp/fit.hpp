@@ -1,0 +1,59 @@
+// Point estimation of gamma-type NHPP models: direct maximum likelihood
+// (Nelder-Mead on (log omega, log beta)) and the EM iteration of
+// Okamura, Watanabe & Dohi (ISSRE 2003), which treats the undetected
+// faults as missing data and has closed-form M-steps for this family.
+// Both data schemes are supported.
+#pragma once
+
+#include <optional>
+
+#include "data/failure_data.hpp"
+#include "math/linalg.hpp"
+#include "nhpp/model.hpp"
+
+namespace vbsrm::nhpp {
+
+struct FitResult {
+  double omega = 0.0;
+  double beta = 0.0;
+  double log_likelihood = 0.0;
+  int iterations = 0;
+  bool converged = false;
+
+  /// Asymptotic covariance of (omega, beta): inverse observed Fisher
+  /// information at the optimum (empty if the Hessian was not PD).
+  std::optional<math::Matrix> covariance;
+
+  GammaTypeModel model(double alpha0) const {
+    return GammaTypeModel(alpha0, omega, beta);
+  }
+};
+
+struct FitOptions {
+  double rel_tol = 1e-10;   // parameter change tolerance
+  int max_iterations = 10000;
+  bool compute_covariance = true;
+  /// Optional starting point; a heuristic is used otherwise.
+  std::optional<std::pair<double, double>> start;
+};
+
+/// MLE via the EM algorithm (recommended: monotone likelihood ascent,
+/// no tuning).
+FitResult fit_em(double alpha0, const data::FailureTimeData& d,
+                 const FitOptions& opt = {});
+FitResult fit_em(double alpha0, const data::GroupedData& d,
+                 const FitOptions& opt = {});
+
+/// MLE via Nelder-Mead on (log omega, log beta); used to cross-check EM
+/// and for models where EM is not available.
+FitResult fit_direct(double alpha0, const data::FailureTimeData& d,
+                     const FitOptions& opt = {});
+FitResult fit_direct(double alpha0, const data::GroupedData& d,
+                     const FitOptions& opt = {});
+
+/// Heuristic starting point: omega ~ 1.3x observed failures, beta so
+/// that the failure law's mean sits at ~60% of the horizon.
+std::pair<double, double> default_start(double alpha0, std::size_t failures,
+                                        double horizon);
+
+}  // namespace vbsrm::nhpp

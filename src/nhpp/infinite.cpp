@@ -1,0 +1,109 @@
+#include "nhpp/infinite.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "math/optimize.hpp"
+
+namespace vbsrm::nhpp::infinite {
+
+namespace m = vbsrm::math;
+
+double MusaOkumotoModel::mean_value(double t) const {
+  if (t <= 0.0) return 0.0;
+  return std::log1p(lambda0 * theta * t) / theta;
+}
+
+double MusaOkumotoModel::intensity(double t) const {
+  return lambda0 / (1.0 + lambda0 * theta * std::max(t, 0.0));
+}
+
+double MusaOkumotoModel::reliability(double t, double u) const {
+  if (u < 0.0) throw std::invalid_argument("reliability: u >= 0");
+  return std::exp(-(mean_value(t + u) - mean_value(t)));
+}
+
+double PowerLawModel::mean_value(double t) const {
+  if (t <= 0.0) return 0.0;
+  return a * std::pow(t, b);
+}
+
+double PowerLawModel::intensity(double t) const {
+  if (t <= 0.0) return 0.0;
+  return a * b * std::pow(t, b - 1.0);
+}
+
+double PowerLawModel::reliability(double t, double u) const {
+  if (u < 0.0) throw std::invalid_argument("reliability: u >= 0");
+  return std::exp(-(mean_value(t + u) - mean_value(t)));
+}
+
+double log_likelihood(const MusaOkumotoModel& mo,
+                      const data::FailureTimeData& d) {
+  if (!(mo.lambda0 > 0.0) || !(mo.theta > 0.0)) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  double ll = 0.0;
+  for (double t : d.times()) ll += std::log(mo.intensity(t));
+  return ll - mo.mean_value(d.observation_end());
+}
+
+double log_likelihood(const PowerLawModel& pl,
+                      const data::FailureTimeData& d) {
+  if (!(pl.a > 0.0) || !(pl.b > 0.0)) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  double ll = 0.0;
+  for (double t : d.times()) ll += std::log(pl.intensity(t));
+  return ll - pl.mean_value(d.observation_end());
+}
+
+MusaOkumotoFit fit_musa_okumoto(const data::FailureTimeData& d) {
+  if (d.count() < 2) {
+    throw std::invalid_argument("fit_musa_okumoto: need >= 2 failures");
+  }
+  const double te = d.observation_end();
+  const double m0 = static_cast<double>(d.count());
+  auto nll = [&](const std::vector<double>& p) {
+    const MusaOkumotoModel mo{std::exp(p[0]), std::exp(p[1])};
+    const double ll = log_likelihood(mo, d);
+    return std::isfinite(ll) ? -ll : 1e300;
+  };
+  // Start: initial intensity ~ early empirical rate; theta so that
+  // Lambda(te) ~ observed count.
+  const double lam0 = 2.0 * m0 / te;
+  const double th0 = 1.0 / m0;
+  m::NelderMeadOptions nm;
+  nm.restarts = 2;
+  const auto sol = m::nelder_mead(nll, {std::log(lam0), std::log(th0)}, nm);
+  MusaOkumotoFit fit;
+  fit.model = {std::exp(sol.x[0]), std::exp(sol.x[1])};
+  fit.log_likelihood = -sol.f;
+  fit.aic = 4.0 - 2.0 * fit.log_likelihood;
+  fit.converged = sol.converged;
+  return fit;
+}
+
+PowerLawFit fit_power_law(const data::FailureTimeData& d) {
+  if (d.count() < 2) {
+    throw std::invalid_argument("fit_power_law: need >= 2 failures");
+  }
+  // Closed-form (Crow 1974): b = m / sum ln(te / t_i), a = m / te^b.
+  const double te = d.observation_end();
+  const double m0 = static_cast<double>(d.count());
+  double s = 0.0;
+  for (double t : d.times()) s += std::log(te / t);
+  if (!(s > 0.0)) {
+    throw std::domain_error("fit_power_law: degenerate times");
+  }
+  PowerLawFit fit;
+  fit.model.b = m0 / s;
+  fit.model.a = m0 / std::pow(te, fit.model.b);
+  fit.log_likelihood = log_likelihood(fit.model, d);
+  fit.aic = 4.0 - 2.0 * fit.log_likelihood;
+  fit.converged = true;
+  return fit;
+}
+
+}  // namespace vbsrm::nhpp::infinite

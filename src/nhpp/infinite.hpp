@@ -1,0 +1,60 @@
+// Infinite-failures NHPP models — the *other* category of software
+// reliability models (paper Sec. 2 restricts itself to the finite
+// category Lambda(t) = omega G(t); here Lambda is unbounded):
+//
+//   Musa-Okumoto logarithmic Poisson:  Lambda(t) = (1/theta) ln(1 + lambda0 theta t)
+//   Crow-AMSAA / Duane power law:      Lambda(t) = a t^b
+//
+// They serve as category-contrast baselines: when data truly comes from
+// a finite-failures process, these models misjudge long-run reliability
+// (they predict failures forever), and vice versa.  The power law has
+// closed-form MLEs; Musa-Okumoto is fitted numerically.
+#pragma once
+
+#include "data/failure_data.hpp"
+
+namespace vbsrm::nhpp::infinite {
+
+struct MusaOkumotoModel {
+  double lambda0 = 1.0;  // initial failure intensity
+  double theta = 1.0;    // intensity decay per expected failure
+
+  double mean_value(double t) const;
+  double intensity(double t) const;
+  /// R(t+u | t) = exp(-(Lambda(t+u) - Lambda(t))).
+  double reliability(double t, double u) const;
+};
+
+struct PowerLawModel {
+  double a = 1.0;  // scale
+  double b = 1.0;  // growth exponent; b < 1 means reliability growth
+
+  double mean_value(double t) const;
+  double intensity(double t) const;
+  double reliability(double t, double u) const;
+};
+
+struct InfiniteFitResult {
+  double log_likelihood = 0.0;
+  double aic = 0.0;
+  bool converged = false;
+};
+
+struct MusaOkumotoFit : InfiniteFitResult {
+  MusaOkumotoModel model;
+};
+
+struct PowerLawFit : InfiniteFitResult {
+  PowerLawModel model;
+};
+
+/// NHPP log-likelihood sum log lambda(t_i) - Lambda(t_e) for either model.
+double log_likelihood(const MusaOkumotoModel& m,
+                      const data::FailureTimeData& d);
+double log_likelihood(const PowerLawModel& m, const data::FailureTimeData& d);
+
+/// MLE; power law closed form, Musa-Okumoto numeric.
+MusaOkumotoFit fit_musa_okumoto(const data::FailureTimeData& d);
+PowerLawFit fit_power_law(const data::FailureTimeData& d);
+
+}  // namespace vbsrm::nhpp::infinite

@@ -1,0 +1,122 @@
+#include "nhpp/model.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "math/specfun.hpp"
+
+namespace vbsrm::nhpp {
+
+namespace m = vbsrm::math;
+
+double GammaFailureLaw::cdf(double t, double beta) const {
+  if (t <= 0.0) return 0.0;
+  return m::gamma_p(alpha0, beta * t);
+}
+
+double GammaFailureLaw::pdf(double t, double beta) const {
+  if (t <= 0.0) return 0.0;
+  return std::exp(log_pdf(t, beta));
+}
+
+double GammaFailureLaw::log_pdf(double t, double beta) const {
+  if (t <= 0.0) return -std::numeric_limits<double>::infinity();
+  return alpha0 * std::log(beta) + (alpha0 - 1.0) * std::log(t) - beta * t -
+         m::log_gamma(alpha0);
+}
+
+double GammaFailureLaw::survival(double t, double beta) const {
+  if (t <= 0.0) return 1.0;
+  return m::gamma_q(alpha0, beta * t);
+}
+
+double GammaFailureLaw::log_survival(double t, double beta) const {
+  if (t <= 0.0) return 0.0;
+  return m::log_gamma_q(alpha0, beta * t);
+}
+
+double GammaFailureLaw::interval_mass(double a, double b, double beta) const {
+  if (!(b > a) || a < 0.0) {
+    throw std::invalid_argument("interval_mass: need 0 <= a < b");
+  }
+  // Difference of survival functions keeps accuracy in the right tail;
+  // difference of CDFs keeps it in the left tail.  Pick by location.
+  if (beta * a > alpha0) {
+    return m::gamma_q(alpha0, beta * a) -
+           (std::isfinite(b) ? m::gamma_q(alpha0, beta * b) : 0.0);
+  }
+  const double fb = std::isfinite(b) ? m::gamma_p(alpha0, beta * b) : 1.0;
+  return fb - m::gamma_p(alpha0, beta * a);
+}
+
+double GammaFailureLaw::log_interval_mass(double a, double b,
+                                          double beta) const {
+  const double mass = interval_mass(a, b, beta);
+  if (mass > 1e-290) return std::log(mass);
+  // Deep-tail fallback: log(Q(a') - Q(b')) via log-space subtraction.
+  const double lqa = log_survival(a, beta);
+  const double lqb = std::isfinite(b)
+                         ? log_survival(b, beta)
+                         : -std::numeric_limits<double>::infinity();
+  if (lqb == -std::numeric_limits<double>::infinity()) return lqa;
+  return lqa + m::log1m_exp(lqb - lqa);
+}
+
+double GammaFailureLaw::truncated_mean(double a, double b, double beta) const {
+  // E[T; a < T <= b] = (alpha0/beta) * (G_{alpha0+1}(b) - G_{alpha0+1}(a)),
+  // so the conditional mean is that over the alpha0 interval mass.
+  GammaFailureLaw up{alpha0 + 1.0};
+  const double num_log = up.log_interval_mass(a, b, beta);
+  const double den_log = log_interval_mass(a, b, beta);
+  return alpha0 / beta * std::exp(num_log - den_log);
+}
+
+GammaTypeModel::GammaTypeModel(double alpha0, double omega, double beta)
+    : law_{alpha0}, omega_(omega), beta_(beta) {
+  if (!(alpha0 > 0.0) || !(omega > 0.0) || !(beta > 0.0)) {
+    throw std::invalid_argument("GammaTypeModel: parameters must be > 0");
+  }
+}
+
+double GammaTypeModel::mean_value(double t) const {
+  return omega_ * law_.cdf(t, beta_);
+}
+
+double GammaTypeModel::intensity(double t) const {
+  return omega_ * law_.pdf(t, beta_);
+}
+
+double GammaTypeModel::residual_faults(double t) const {
+  return omega_ * law_.survival(t, beta_);
+}
+
+double GammaTypeModel::reliability(double t, double u) const {
+  if (u < 0.0) throw std::invalid_argument("reliability: u must be >= 0");
+  if (u == 0.0) return 1.0;
+  const double inc = omega_ * law_.interval_mass(t, t + u, beta_);
+  return std::exp(-inc);
+}
+
+std::string GammaTypeModel::name() const {
+  std::ostringstream os;
+  if (law_.alpha0 == 1.0) {
+    os << "Goel-Okumoto";
+  } else if (law_.alpha0 == 2.0) {
+    os << "delayed S-shaped";
+  } else {
+    os << "gamma-type(alpha0=" << law_.alpha0 << ")";
+  }
+  os << "(omega=" << omega_ << ", beta=" << beta_ << ")";
+  return os.str();
+}
+
+GammaTypeModel goel_okumoto(double omega, double beta) {
+  return GammaTypeModel(1.0, omega, beta);
+}
+
+GammaTypeModel delayed_s_shaped(double omega, double beta) {
+  return GammaTypeModel(2.0, omega, beta);
+}
+
+}  // namespace vbsrm::nhpp

@@ -1,0 +1,66 @@
+// Gamma-type NHPP software reliability models (the paper's Section 2).
+//
+// The finite-failures NHPP is characterized by
+//   Lambda(t) = omega * G(t; theta),
+// where G is the common failure-time distribution of the individual
+// faults.  The gamma-type family takes G = Gamma(shape alpha0, rate
+// beta) with alpha0 *fixed* per model:
+//   alpha0 = 1  ->  Goel-Okumoto (exponential),
+//   alpha0 = 2  ->  delayed S-shaped (2-stage Erlang).
+// The free parameters estimated from data are (omega, beta).
+#pragma once
+
+#include <string>
+
+namespace vbsrm::nhpp {
+
+/// The gamma failure-time distribution of one fault: CDF, density,
+/// survival, and interval mass — all parameterized by (alpha0, beta=rate).
+struct GammaFailureLaw {
+  double alpha0 = 1.0;
+
+  double cdf(double t, double beta) const;
+  double pdf(double t, double beta) const;
+  double log_pdf(double t, double beta) const;
+  double survival(double t, double beta) const;
+  double log_survival(double t, double beta) const;
+  /// G(b) - G(a) for 0 <= a < b, computed to preserve relative accuracy.
+  double interval_mass(double a, double b, double beta) const;
+  double log_interval_mass(double a, double b, double beta) const;
+  /// E[T | a < T <= b] for T ~ Gamma(alpha0, beta); b may be +inf.
+  double truncated_mean(double a, double b, double beta) const;
+};
+
+/// A fully specified gamma-type NHPP model (parameter point).
+class GammaTypeModel {
+ public:
+  GammaTypeModel(double alpha0, double omega, double beta);
+
+  double alpha0() const { return law_.alpha0; }
+  double omega() const { return omega_; }
+  double beta() const { return beta_; }
+  const GammaFailureLaw& law() const { return law_; }
+
+  /// Mean value function Lambda(t) = omega * G(t).
+  double mean_value(double t) const;
+  /// Intensity lambda(t) = omega * g(t).
+  double intensity(double t) const;
+  /// Expected residual faults at time t: omega * (1 - G(t)).
+  double residual_faults(double t) const;
+  /// Software reliability R(t+u | t) = exp(-(Lambda(t+u) - Lambda(t))),
+  /// Eq. (3) of the paper.
+  double reliability(double t, double u) const;
+
+  std::string name() const;
+
+ private:
+  GammaFailureLaw law_;
+  double omega_;
+  double beta_;
+};
+
+/// Factories for the two named members of the family.
+GammaTypeModel goel_okumoto(double omega, double beta);
+GammaTypeModel delayed_s_shaped(double omega, double beta);
+
+}  // namespace vbsrm::nhpp

@@ -1,0 +1,63 @@
+#include "nhpp/trend.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace vbsrm::nhpp {
+
+double laplace_trend(const data::FailureTimeData& d) {
+  const std::size_t n = d.count();
+  if (n < 2) throw std::invalid_argument("laplace_trend: need >= 2 failures");
+  const double te = d.observation_end();
+  const double mean_frac = d.total_time() / (static_cast<double>(n) * te);
+  return (mean_frac - 0.5) * std::sqrt(12.0 * static_cast<double>(n));
+}
+
+double laplace_trend(const data::GroupedData& d) {
+  const std::size_t m = d.total_failures();
+  if (m < 2) throw std::invalid_argument("laplace_trend: need >= 2 failures");
+  const double te = d.observation_end();
+  double s = 0.0;
+  for (std::size_t i = 0; i < d.intervals(); ++i) {
+    const double mid = 0.5 * (d.left_edge(i) + d.right_edge(i));
+    s += static_cast<double>(d.counts()[i]) * mid;
+  }
+  const double mean_frac = s / (static_cast<double>(m) * te);
+  return (mean_frac - 0.5) * std::sqrt(12.0 * static_cast<double>(m));
+}
+
+stats::KsResult ks_fit_test(const GammaTypeModel& model,
+                            const data::FailureTimeData& d) {
+  const double lam_te = model.mean_value(d.observation_end());
+  if (!(lam_te > 0.0)) {
+    throw std::invalid_argument("ks_fit_test: degenerate model");
+  }
+  std::vector<double> u;
+  u.reserve(d.count());
+  for (double t : d.times()) u.push_back(model.mean_value(t) / lam_te);
+  auto uniform_cdf = [](double x) {
+    if (x <= 0.0) return 0.0;
+    if (x >= 1.0) return 1.0;
+    return x;
+  };
+  return stats::ks_test(u, uniform_cdf);
+}
+
+stats::ChiSquareResult chi_square_fit_test(const GammaTypeModel& model,
+                                           const data::GroupedData& d,
+                                           int fitted_params) {
+  const double lam_te = model.mean_value(d.observation_end());
+  const double total = static_cast<double>(d.total_failures());
+  std::vector<double> obs, expd;
+  for (std::size_t i = 0; i < d.intervals(); ++i) {
+    obs.push_back(static_cast<double>(d.counts()[i]));
+    const double p = (model.mean_value(d.right_edge(i)) -
+                      model.mean_value(d.left_edge(i))) /
+                     lam_te;
+    expd.push_back(total * p);
+  }
+  return stats::chi_square_test(obs, expd, fitted_params);
+}
+
+}  // namespace vbsrm::nhpp

@@ -1,0 +1,30 @@
+// Reliability-trend tests applied before model fitting: the Laplace
+// trend test (for both data schemes) detects reliability growth/decay,
+// and goodness-of-fit helpers compare a fitted model against the data.
+#pragma once
+
+#include "data/failure_data.hpp"
+#include "nhpp/model.hpp"
+#include "stats/gof.hpp"
+
+namespace vbsrm::nhpp {
+
+/// Laplace factor for failure-time data on (0, t_e]; values << 0
+/// indicate reliability growth (inter-failure times lengthening).
+double laplace_trend(const data::FailureTimeData& d);
+
+/// Laplace factor for grouped data (interval-midpoint form).
+double laplace_trend(const data::GroupedData& d);
+
+/// KS test of the fitted model via the time transform u_i = Lambda(t_i)/
+/// Lambda(t_e), which is iid U(0,1) under the model (conditional on m).
+stats::KsResult ks_fit_test(const GammaTypeModel& model,
+                            const data::FailureTimeData& d);
+
+/// Chi-square GOF of grouped counts against model-expected counts,
+/// conditioning on the observed total so only the *shape* is tested.
+stats::ChiSquareResult chi_square_fit_test(const GammaTypeModel& model,
+                                           const data::GroupedData& d,
+                                           int fitted_params = 2);
+
+}  // namespace vbsrm::nhpp

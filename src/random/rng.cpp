@@ -1,0 +1,68 @@
+#include "random/rng.hpp"
+
+namespace vbsrm::random {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+  // Guard against the all-zero state (never produced by splitmix64 for
+  // all four words in practice, but cheap to enforce).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_open() {
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return u;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  // Lemire's rejection-free-ish multiply-shift with rejection for bias.
+  if (n == 0) return 0;
+  const std::uint64_t threshold = (-n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+Rng Rng::split(std::uint64_t stream) const {
+  std::uint64_t mix = s_[0] ^ (s_[2] + 0x632BE59BD9B4E019ull * (stream + 1));
+  return Rng(mix);
+}
+
+}  // namespace vbsrm::random

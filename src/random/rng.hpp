@@ -1,0 +1,36 @@
+// Deterministic, seedable pseudo-random generator: xoshiro256++ seeded
+// via splitmix64.  Self-contained so results are bit-reproducible across
+// platforms and standard libraries (std::mt19937 distributions are not
+// specified bit-exactly for non-uniform draws).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace vbsrm::random {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double();
+
+  /// Uniform double in (0, 1): never returns exactly 0 (safe for logs).
+  double next_open();
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Spawn an independent stream (jump-free: reseeds via splitmix of the
+  /// current state mixed with the stream index).
+  Rng split(std::uint64_t stream) const;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace vbsrm::random

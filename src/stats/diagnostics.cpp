@@ -1,0 +1,91 @@
+#include "stats/diagnostics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace vbsrm::stats {
+
+std::vector<double> autocorrelation(std::span<const double> x, int max_lag) {
+  const std::size_t n = x.size();
+  if (n < 2) throw std::invalid_argument("autocorrelation: need n >= 2");
+  if (max_lag < 0 || static_cast<std::size_t>(max_lag) >= n) {
+    throw std::invalid_argument("autocorrelation: bad max_lag");
+  }
+  const double m = mean(x);
+  double c0 = 0.0;
+  for (double v : x) c0 += (v - m) * (v - m);
+  c0 /= static_cast<double>(n);
+  std::vector<double> rho(static_cast<std::size_t>(max_lag) + 1, 0.0);
+  rho[0] = 1.0;
+  if (c0 <= 0.0) return rho;  // constant chain
+  for (int k = 1; k <= max_lag; ++k) {
+    double ck = 0.0;
+    for (std::size_t i = 0; i + k < n; ++i) {
+      ck += (x[i] - m) * (x[i + k] - m);
+    }
+    ck /= static_cast<double>(n);
+    rho[static_cast<std::size_t>(k)] = ck / c0;
+  }
+  return rho;
+}
+
+double effective_sample_size(std::span<const double> x) {
+  const std::size_t n = x.size();
+  if (n < 4) return static_cast<double>(n);
+  const int max_lag = static_cast<int>(std::min<std::size_t>(n - 2, 2000));
+  const auto rho = autocorrelation(x, max_lag);
+  // Geyer initial positive sequence: sum pairs rho[2k-1]+rho[2k] while
+  // positive.
+  double tau = 1.0;
+  for (int k = 1; k + 1 <= max_lag; k += 2) {
+    const double pair = rho[static_cast<std::size_t>(k)] +
+                        rho[static_cast<std::size_t>(k + 1)];
+    if (pair <= 0.0) break;
+    tau += 2.0 * pair;
+  }
+  return static_cast<double>(n) / tau;
+}
+
+double geweke_z(std::span<const double> x, double first_frac,
+                double last_frac) {
+  const std::size_t n = x.size();
+  if (n < 20) throw std::invalid_argument("geweke_z: chain too short");
+  if (first_frac <= 0.0 || last_frac <= 0.0 ||
+      first_frac + last_frac >= 1.0) {
+    throw std::invalid_argument("geweke_z: bad fractions");
+  }
+  const std::size_t na = static_cast<std::size_t>(first_frac * n);
+  const std::size_t nb = static_cast<std::size_t>(last_frac * n);
+  auto a = x.subspan(0, na);
+  auto b = x.subspan(n - nb, nb);
+  const double ma = mean(a), mb = mean(b);
+  // Variance of the mean estimated with ESS to account for
+  // autocorrelation within each window.
+  const double va = variance(a) / effective_sample_size(a);
+  const double vb = variance(b) / effective_sample_size(b);
+  return (ma - mb) / std::sqrt(va + vb);
+}
+
+double split_rhat(std::span<const double> x, int splits) {
+  if (splits < 2) throw std::invalid_argument("split_rhat: splits >= 2");
+  const std::size_t n = x.size();
+  const std::size_t per = n / static_cast<std::size_t>(splits);
+  if (per < 2) throw std::invalid_argument("split_rhat: chain too short");
+  std::vector<double> chain_means, chain_vars;
+  for (int c = 0; c < splits; ++c) {
+    auto seg = x.subspan(static_cast<std::size_t>(c) * per, per);
+    chain_means.push_back(mean(seg));
+    chain_vars.push_back(variance(seg));
+  }
+  const double w = mean(chain_vars);
+  const double b = variance(chain_means) * static_cast<double>(per);
+  const double var_plus =
+      (static_cast<double>(per) - 1.0) / static_cast<double>(per) * w +
+      b / static_cast<double>(per);
+  if (w <= 0.0) return 1.0;
+  return std::sqrt(var_plus / w);
+}
+
+}  // namespace vbsrm::stats

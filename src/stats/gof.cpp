@@ -1,0 +1,84 @@
+#include "stats/gof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/specfun.hpp"
+
+namespace vbsrm::stats {
+
+KsResult ks_test(std::span<const double> x,
+                 const std::function<double(double)>& cdf) {
+  if (x.empty()) throw std::invalid_argument("ks_test: empty sample");
+  std::vector<double> s(x.begin(), x.end());
+  std::sort(s.begin(), s.end());
+  const double n = static_cast<double>(s.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double f = cdf(s[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(f - lo), std::abs(hi - f)});
+  }
+  return {d, kolmogorov_pvalue(d, s.size())};
+}
+
+double kolmogorov_pvalue(double d, std::size_t n) {
+  // Asymptotic series with the Stephens small-sample correction.
+  const double sn = std::sqrt(static_cast<double>(n));
+  const double t = d * (sn + 0.12 + 0.11 / sn);
+  if (t < 1e-3) return 1.0;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = 2.0 * std::pow(-1.0, k - 1) *
+                        std::exp(-2.0 * k * k * t * t);
+    sum += term;
+    if (std::abs(term) < 1e-12) break;
+  }
+  return std::clamp(sum, 0.0, 1.0);
+}
+
+ChiSquareResult chi_square_test(std::span<const double> observed,
+                                std::span<const double> expected,
+                                int fitted_params, double min_expected) {
+  if (observed.size() != expected.size() || observed.empty()) {
+    throw std::invalid_argument("chi_square_test: size mismatch/empty");
+  }
+  // Pool small-expectation bins left to right.
+  std::vector<double> obs, exp;
+  double po = 0.0, pe = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    po += observed[i];
+    pe += expected[i];
+    if (pe >= min_expected) {
+      obs.push_back(po);
+      exp.push_back(pe);
+      po = pe = 0.0;
+    }
+  }
+  if (pe > 0.0 || po > 0.0) {  // leftover pooled into the last bin
+    if (obs.empty()) {
+      obs.push_back(po);
+      exp.push_back(pe);
+    } else {
+      obs.back() += po;
+      exp.back() += pe;
+    }
+  }
+  double stat = 0.0;
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    if (exp[i] <= 0.0) continue;
+    const double diff = obs[i] - exp[i];
+    stat += diff * diff / exp[i];
+  }
+  const int dof = std::max(1, static_cast<int>(obs.size()) - 1 - fitted_params);
+  return {stat, dof, chi_square_sf(stat, dof)};
+}
+
+double chi_square_sf(double x, int k) {
+  if (x <= 0.0) return 1.0;
+  return vbsrm::math::gamma_q(0.5 * k, 0.5 * x);
+}
+
+}  // namespace vbsrm::stats

@@ -1,0 +1,42 @@
+// Goodness-of-fit machinery: one-sample Kolmogorov-Smirnov and
+// chi-square tests.  Used to check how well a fitted NHPP describes a
+// data set (the paper's observation that System 17's grouped data fit
+// the Goel-Okumoto model poorly drives the D_G-NoInfo instability).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace vbsrm::stats {
+
+struct KsResult {
+  double statistic = 0.0;  // sup |F_n - F|
+  double p_value = 0.0;    // asymptotic Kolmogorov distribution
+};
+
+/// One-sample KS test of sorted-or-not samples against a cdf.
+KsResult ks_test(std::span<const double> x,
+                 const std::function<double(double)>& cdf);
+
+/// Asymptotic Kolmogorov distribution complement: P(sqrt(n) D > t).
+double kolmogorov_pvalue(double d, std::size_t n);
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  int dof = 0;
+  double p_value = 0.0;
+};
+
+/// Chi-square GOF for binned counts vs expected counts.  `fitted_params`
+/// reduces the degrees of freedom.  Bins with expected < min_expected
+/// are pooled with their right neighbor.
+ChiSquareResult chi_square_test(std::span<const double> observed,
+                                std::span<const double> expected,
+                                int fitted_params = 0,
+                                double min_expected = 5.0);
+
+/// Upper tail of the chi-square distribution with k dof at x.
+double chi_square_sf(double x, int k);
+
+}  // namespace vbsrm::stats

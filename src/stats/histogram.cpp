@@ -1,0 +1,122 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace vbsrm::stats {
+
+Histogram1D::Histogram1D(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / bins) {
+  if (!(hi > lo) || bins < 1) throw std::invalid_argument("Histogram1D: bad args");
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram1D::add(double x) {
+  if (x < lo_ || x >= hi_) return;  // out-of-range values are dropped
+  const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  counts_[std::min(bin, counts_.size() - 1)] += 1;
+  ++total_;
+}
+
+void Histogram1D::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram1D::bin_center(int bin) const {
+  return lo_ + (bin + 0.5) * width_;
+}
+
+double Histogram1D::density(int bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) /
+         (static_cast<double>(total_) * width_);
+}
+
+Histogram2D::Histogram2D(double xlo, double xhi, int xbins, double ylo,
+                         double yhi, int ybins)
+    : xlo_(xlo), xhi_(xhi), ylo_(ylo), yhi_(yhi),
+      xw_((xhi - xlo) / xbins), yw_((yhi - ylo) / ybins),
+      xbins_(xbins), ybins_(ybins) {
+  if (!(xhi > xlo) || !(yhi > ylo) || xbins < 1 || ybins < 1) {
+    throw std::invalid_argument("Histogram2D: bad args");
+  }
+  counts_.assign(static_cast<std::size_t>(xbins) * ybins, 0);
+}
+
+void Histogram2D::add(double x, double y) {
+  if (x < xlo_ || x >= xhi_ || y < ylo_ || y >= yhi_) return;
+  const auto ix = std::min(static_cast<std::size_t>((x - xlo_) / xw_),
+                           static_cast<std::size_t>(xbins_ - 1));
+  const auto iy = std::min(static_cast<std::size_t>((y - ylo_) / yw_),
+                           static_cast<std::size_t>(ybins_ - 1));
+  counts_[ix * static_cast<std::size_t>(ybins_) + iy] += 1;
+  ++total_;
+}
+
+void Histogram2D::add_all(std::span<const double> xs,
+                          std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("add_all: size mismatch");
+  for (std::size_t i = 0; i < xs.size(); ++i) add(xs[i], ys[i]);
+}
+
+std::size_t Histogram2D::count(int ix, int iy) const {
+  return counts_.at(static_cast<std::size_t>(ix) * ybins_ +
+                    static_cast<std::size_t>(iy));
+}
+
+double Histogram2D::x_center(int ix) const { return xlo_ + (ix + 0.5) * xw_; }
+double Histogram2D::y_center(int iy) const { return ylo_ + (iy + 0.5) * yw_; }
+
+double Histogram2D::density(int ix, int iy) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(ix, iy)) /
+         (static_cast<double>(total_) * xw_ * yw_);
+}
+
+std::string Histogram2D::to_csv() const {
+  std::ostringstream os;
+  os << "x,y,density\n";
+  for (int i = 0; i < xbins_; ++i) {
+    for (int j = 0; j < ybins_; ++j) {
+      os << x_center(i) << ',' << y_center(j) << ',' << density(i, j) << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string ascii_contour(const std::vector<std::vector<double>>& grid,
+                          int levels) {
+  if (grid.empty() || grid.front().empty()) return "";
+  std::vector<double> positive;
+  for (const auto& row : grid) {
+    for (double v : row) {
+      if (v > 0.0) positive.push_back(v);
+    }
+  }
+  if (positive.empty()) return "";
+  std::sort(positive.begin(), positive.end());
+  const double vmax = positive.back();
+  // Level thresholds: geometric bands below the max.
+  std::vector<double> thresh;
+  for (int l = levels; l >= 1; --l) {
+    thresh.push_back(vmax * std::pow(10.0, -0.6 * l));
+  }
+  static const char glyphs[] = " .:-=+*#%@";
+  std::ostringstream os;
+  for (auto it = grid.rbegin(); it != grid.rend(); ++it) {  // top-down
+    for (double v : *it) {
+      int g = 0;
+      for (std::size_t k = 0; k < thresh.size(); ++k) {
+        if (v >= thresh[k]) g = static_cast<int>(k) + 1;
+      }
+      if (v >= 0.5 * vmax) g = 9;
+      os << glyphs[std::min(g, 9)];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace vbsrm::stats

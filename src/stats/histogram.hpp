@@ -1,0 +1,66 @@
+// 1-D and 2-D histograms.  The 2-D histogram renders the MCMC scatter
+// density used in the paper's Figure 1, and both power the contour /
+// CSV outputs of the figure bench.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vbsrm::stats {
+
+class Histogram1D {
+ public:
+  Histogram1D(double lo, double hi, int bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t count(int bin) const { return counts_.at(static_cast<std::size_t>(bin)); }
+  std::size_t total() const { return total_; }
+  double bin_center(int bin) const;
+  /// Density estimate: count / (total * bin_width).
+  double density(int bin) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+class Histogram2D {
+ public:
+  Histogram2D(double xlo, double xhi, int xbins, double ylo, double yhi,
+              int ybins);
+
+  void add(double x, double y);
+  void add_all(std::span<const double> xs, std::span<const double> ys);
+
+  int xbins() const { return xbins_; }
+  int ybins() const { return ybins_; }
+  std::size_t count(int ix, int iy) const;
+  std::size_t total() const { return total_; }
+  double x_center(int ix) const;
+  double y_center(int iy) const;
+  double density(int ix, int iy) const;
+
+  /// Render as CSV: header "x,y,density" then one row per cell.
+  std::string to_csv() const;
+
+ private:
+  double xlo_, xhi_, ylo_, yhi_, xw_, yw_;
+  int xbins_, ybins_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// ASCII contour rendering of a density grid (rows printed top-down);
+/// levels are quantile bands of the positive values.  Shared by the
+/// figure bench for quick terminal inspection.
+std::string ascii_contour(const std::vector<std::vector<double>>& grid,
+                          int levels = 6);
+
+}  // namespace vbsrm::stats

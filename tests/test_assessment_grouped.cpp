@@ -1,0 +1,67 @@
+// One-interval-ahead assessment for grouped data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/datasets.hpp"
+#include "data/simulate.hpp"
+#include "nhpp/assessment.hpp"
+#include "random/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace n = vbsrm::nhpp;
+namespace d = vbsrm::data;
+
+namespace {
+
+TEST(GroupedAssessment, WellSpecifiedModelIsRoughlyCalibrated) {
+  vbsrm::random::Rng rng(91);
+  const auto sim =
+      d::simulate_gamma_nhpp_grouped(rng, 150.0, 1.0, 1.8e-3, 2000.0, 40);
+  ASSERT_GT(sim.total_failures(), 60u);
+  const auto a = n::assess_one_step_ahead(1.0, sim, 6);
+  EXPECT_GT(a.predictions, 25u);
+  // Mid-p PITs of calibrated forecasts have mean ~ 1/2.
+  EXPECT_NEAR(vbsrm::stats::mean(a.mid_p), 0.5, 0.12);
+  for (double u : a.mid_p) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+  EXPECT_TRUE(std::isfinite(a.prequential_log_likelihood));
+}
+
+TEST(GroupedAssessment, RightModelBeatsWrongModelPrequentially) {
+  vbsrm::random::Rng rng(92);
+  const auto sim =
+      d::simulate_gamma_nhpp_grouped(rng, 200.0, 2.0, 3e-3, 2000.0, 40);
+  ASSERT_GT(sim.total_failures(), 80u);
+  const auto dss = n::assess_one_step_ahead(2.0, sim, 6);
+  const auto go = n::assess_one_step_ahead(1.0, sim, 6);
+  EXPECT_GT(dss.prequential_log_likelihood, go.prequential_log_likelihood);
+}
+
+TEST(GroupedAssessment, System17GroupedScoresDssAboveGo) {
+  // The grouped stand-in is DSS-generated; honest one-step prediction
+  // must prefer alpha0 = 2.
+  const auto dg = d::datasets::system17_grouped();
+  const auto dss = n::assess_one_step_ahead(2.0, dg, 10);
+  const auto go = n::assess_one_step_ahead(1.0, dg, 10);
+  EXPECT_GT(dss.prequential_log_likelihood, go.prequential_log_likelihood);
+}
+
+TEST(GroupedAssessment, ValidatesWarmup) {
+  const auto dg = d::datasets::system17_grouped();
+  EXPECT_THROW(n::assess_one_step_ahead(1.0, dg, 1), std::invalid_argument);
+  EXPECT_THROW(n::assess_one_step_ahead(1.0, dg, 64), std::invalid_argument);
+}
+
+TEST(GroupedAssessment, SkipsIntervalsBeforeEnoughSignal) {
+  // A data set whose first intervals are empty: predictions only start
+  // once >= 2 failures have been seen, with no crash.
+  d::GroupedData sparse({1, 2, 3, 4, 5, 6, 7, 8}, {0, 0, 0, 1, 2, 1, 3, 2});
+  const auto a = n::assess_one_step_ahead(1.0, sparse, 2);
+  EXPECT_LT(a.predictions, 6u);
+  EXPECT_GT(a.predictions, 0u);
+}
+
+}  // namespace

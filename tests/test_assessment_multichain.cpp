@@ -1,0 +1,153 @@
+// Sequential predictive assessment (u-plot / prequential likelihood),
+// multi-chain R-hat, and the Laplace model evidence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/laplace.hpp"
+#include "bayes/multichain.hpp"
+#include "data/datasets.hpp"
+#include "data/simulate.hpp"
+#include "nhpp/assessment.hpp"
+#include "random/rng.hpp"
+
+namespace n = vbsrm::nhpp;
+namespace b = vbsrm::bayes;
+namespace d = vbsrm::data;
+
+namespace {
+
+TEST(Assessment, WellSpecifiedModelIsCalibrated) {
+  // Data from a GO process, assessed with the GO model: the u_i must be
+  // consistent with U(0,1).
+  vbsrm::random::Rng rng(55);
+  const auto sim = d::simulate_gamma_nhpp(rng, 120.0, 1.0, 1.5e-3, 2500.0);
+  ASSERT_GT(sim.count(), 60u);
+  const auto a = n::assess_one_step_ahead(1.0, sim, 10);
+  EXPECT_EQ(a.predictions, sim.count() - 10);
+  EXPECT_GT(a.u_plot_pvalue, 0.01);
+  for (double u : a.u) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(Assessment, MisspecifiedModelScoresWorse) {
+  // DSS data: the DSS model must beat GO on prequential likelihood.
+  vbsrm::random::Rng rng(56);
+  const auto sim = d::simulate_gamma_nhpp(rng, 150.0, 2.0, 2.5e-3, 2500.0);
+  ASSERT_GT(sim.count(), 60u);
+  const auto ranking = n::prequential_ranking({1.0, 2.0}, sim, 10);
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking.front().first, 2.0);
+  EXPECT_GT(ranking.front().second, ranking.back().second);
+}
+
+TEST(Assessment, ValidatesArguments) {
+  const auto dt = d::datasets::system17_failure_times();
+  EXPECT_THROW(n::assess_one_step_ahead(1.0, dt, 1), std::invalid_argument);
+  EXPECT_THROW(n::assess_one_step_ahead(1.0, dt, 38), std::invalid_argument);
+}
+
+TEST(Assessment, System17StandInIsCentredButUnderDispersed) {
+  // The D_T stand-in is generated from expected order statistics with
+  // small jitter, i.e. *more regular* than a genuine Poisson
+  // realization.  One-step-ahead predictions are therefore unbiased
+  // (mean u ~ 1/2: no systematic optimism/pessimism) but the u's are
+  // under-dispersed, which the u-plot correctly flags — a nice
+  // demonstration that the diagnostic detects super-regularity too.
+  const auto dt = d::datasets::system17_failure_times();
+  const auto a = n::assess_one_step_ahead(1.0, dt, 8);
+  double mean_u = 0.0;
+  for (double u : a.u) mean_u += u;
+  mean_u /= static_cast<double>(a.u.size());
+  EXPECT_GT(mean_u, 0.38);
+  EXPECT_LT(mean_u, 0.72);
+  EXPECT_LT(a.u_plot_pvalue, 0.05);  // regularity detected
+  EXPECT_TRUE(std::isfinite(a.prequential_log_likelihood));
+}
+
+TEST(MultiChain, RhatNearOneForWellMixedChains) {
+  const auto dt = d::datasets::system17_failure_times();
+  const b::PriorPair priors{b::GammaPrior::from_mean_sd(50.0, 15.8),
+                            b::GammaPrior::from_mean_sd(1e-5, 3.2e-6)};
+  b::McmcOptions opt;
+  opt.burn_in = 2000;
+  opt.thin = 2;
+  opt.samples = 4000;
+  opt.seed = 2;
+  const auto mc = b::gibbs_failure_times_chains(4, 1.0, dt, priors, opt);
+  EXPECT_EQ(mc.chains.size(), 4u);
+  EXPECT_LT(mc.rhat_omega, 1.01);
+  EXPECT_LT(mc.rhat_beta, 1.01);
+  EXPECT_TRUE(mc.converged());
+  EXPECT_EQ(mc.pooled.size(), 16000u);
+  // Chains genuinely differ (independent seeds).
+  EXPECT_NE(mc.chains[0].omega()[0], mc.chains[1].omega()[0]);
+}
+
+TEST(MultiChain, RhatDetectsDisagreeingChains) {
+  // Two hand-built "chains" around different levels: R-hat must flag it.
+  std::vector<std::vector<double>> chains(2, std::vector<double>(500));
+  vbsrm::random::Rng rng(9);
+  for (int c = 0; c < 2; ++c) {
+    for (auto& v : chains[static_cast<std::size_t>(c)]) {
+      v = (c == 0 ? 0.0 : 5.0) + rng.next_double();
+    }
+  }
+  EXPECT_GT(b::cross_chain_rhat(chains), 2.0);
+}
+
+TEST(MultiChain, ValidatesInput) {
+  EXPECT_THROW(b::cross_chain_rhat({{1.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(b::cross_chain_rhat({{1.0, 2.0}, {1.0}}),
+               std::invalid_argument);
+  const auto dt = d::datasets::system17_failure_times();
+  EXPECT_THROW(
+      b::gibbs_failure_times_chains(1, 1.0, dt, b::PriorPair::flat()),
+      std::invalid_argument);
+}
+
+TEST(LaplaceEvidence, NormalizesAConjugateCase) {
+  // Nearly-Gaussian posterior (tight priors): the Laplace evidence must
+  // be close to a brute-force 2-D integral of the posterior.
+  const auto dt = d::datasets::system17_failure_times();
+  const b::PriorPair tight{b::GammaPrior::from_mean_sd(50.0, 2.0),
+                           b::GammaPrior::from_mean_sd(1e-5, 4e-7)};
+  b::LogPosterior post(1.0, dt, tight);
+  b::LaplaceEstimator lap(post);
+
+  // Brute force on a +-6 sd box.
+  const double so = std::sqrt(lap.covariance()(0, 0));
+  const double sb = std::sqrt(lap.covariance()(1, 1));
+  double z = 0.0;
+  const int grid = 220;
+  const double olo = lap.map_omega() - 6 * so, ohi = lap.map_omega() + 6 * so;
+  const double blo = lap.map_beta() - 6 * sb, bhi = lap.map_beta() + 6 * sb;
+  const double dw = (ohi - olo) / grid, db = (bhi - blo) / grid;
+  for (int i = 0; i < grid; ++i) {
+    for (int j = 0; j < grid; ++j) {
+      z += std::exp(post(olo + (i + 0.5) * dw, blo + (j + 0.5) * db) -
+                    post(lap.map_omega(), lap.map_beta()));
+    }
+  }
+  const double log_z = std::log(z * dw * db) +
+                       post(lap.map_omega(), lap.map_beta());
+  EXPECT_NEAR(lap.log_marginal_likelihood(), log_z, 0.02);
+}
+
+TEST(LaplaceEvidence, BayesFactorPrefersGeneratingModel) {
+  // GO-generated data: evidence(GO) > evidence(DSS) under equal priors.
+  vbsrm::random::Rng rng(58);
+  const auto sim = d::simulate_gamma_nhpp(rng, 150.0, 1.0, 1.2e-3, 2500.0);
+  const b::PriorPair priors{b::GammaPrior::from_mean_sd(150.0, 75.0),
+                            b::GammaPrior::from_mean_sd(1.5e-3, 1.5e-3)};
+  b::LogPosterior post_go(1.0, sim, priors);
+  b::LogPosterior post_dss(2.0, sim, priors);
+  const double ev_go = b::LaplaceEstimator(post_go).log_marginal_likelihood();
+  const double ev_dss =
+      b::LaplaceEstimator(post_dss).log_marginal_likelihood();
+  EXPECT_GT(ev_go, ev_dss);
+}
+
+}  // namespace

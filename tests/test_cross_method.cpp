@@ -1,0 +1,199 @@
+// Cross-method integration tests: the paper's central empirical claims,
+// asserted end-to-end on the System 17 stand-ins.
+//
+//   (1) NINT ~ MCMC ~ VB2 on moments, credible intervals and
+//       reliability (Info cases, both data schemes);
+//   (2) LAPL means are left-shifted; VB1 variances collapse;
+//   (3) VB2 is much cheaper than MCMC at the paper's configurations;
+//   (4) the D_G-NoInfo case destabilizes every method (huge variance).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+
+#include "bayes/gibbs.hpp"
+#include "bayes/laplace.hpp"
+#include "bayes/nint.hpp"
+#include "core/vb1.hpp"
+#include "core/vb2.hpp"
+#include "data/datasets.hpp"
+
+namespace b = vbsrm::bayes;
+namespace c = vbsrm::core;
+namespace d = vbsrm::data;
+
+namespace {
+
+b::PriorPair info_dt() {
+  return {b::GammaPrior::from_mean_sd(50.0, 15.8),
+          b::GammaPrior::from_mean_sd(1e-5, 3.2e-6)};
+}
+
+b::PriorPair info_dg() {
+  return {b::GammaPrior::from_mean_sd(50.0, 15.8),
+          b::GammaPrior::from_mean_sd(3.3e-2, 1.1e-2)};
+}
+
+b::Box vb2_guided_box(const c::Vb2Estimator& vb) {
+  return b::Box::from_quantiles(vb.posterior().quantile_omega(0.005),
+                                vb.posterior().quantile_omega(0.995),
+                                vb.posterior().quantile_beta(0.005),
+                                vb.posterior().quantile_beta(0.995));
+}
+
+class FailureTimeInfoCase : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dt_ = new d::FailureTimeData(d::datasets::system17_failure_times());
+    vb2_ = new c::Vb2Estimator(1.0, *dt_, info_dt());
+    post_ = new b::LogPosterior(1.0, *dt_, info_dt());
+    nint_ = new b::NintEstimator(*post_, vb2_guided_box(*vb2_));
+    b::McmcOptions mc;
+    mc.seed = 2024;
+    chain_ = new b::ChainResult(
+        b::gibbs_failure_times(1.0, *dt_, info_dt(), mc));
+  }
+  static void TearDownTestSuite() {
+    delete chain_; delete nint_; delete post_; delete vb2_; delete dt_;
+    chain_ = nullptr; nint_ = nullptr; post_ = nullptr; vb2_ = nullptr;
+    dt_ = nullptr;
+  }
+
+  static d::FailureTimeData* dt_;
+  static c::Vb2Estimator* vb2_;
+  static b::LogPosterior* post_;
+  static b::NintEstimator* nint_;
+  static b::ChainResult* chain_;
+};
+
+d::FailureTimeData* FailureTimeInfoCase::dt_ = nullptr;
+c::Vb2Estimator* FailureTimeInfoCase::vb2_ = nullptr;
+b::LogPosterior* FailureTimeInfoCase::post_ = nullptr;
+b::NintEstimator* FailureTimeInfoCase::nint_ = nullptr;
+b::ChainResult* FailureTimeInfoCase::chain_ = nullptr;
+
+TEST_F(FailureTimeInfoCase, Vb2MomentsWithinTwoPercentOfNint) {
+  const auto sn = nint_->summary();
+  const auto sv = vb2_->posterior().summary();
+  EXPECT_NEAR(sv.mean_omega, sn.mean_omega, 0.02 * sn.mean_omega);
+  EXPECT_NEAR(sv.mean_beta, sn.mean_beta, 0.02 * sn.mean_beta);
+  EXPECT_NEAR(sv.var_omega, sn.var_omega, 0.05 * sn.var_omega);
+  EXPECT_NEAR(sv.var_beta, sn.var_beta, 0.10 * sn.var_beta);
+  EXPECT_NEAR(sv.cov, sn.cov, 0.10 * std::abs(sn.cov));
+}
+
+TEST_F(FailureTimeInfoCase, McmcMomentsWithinTwoPercentOfNint) {
+  const auto sn = nint_->summary();
+  const auto sm = chain_->summary();
+  EXPECT_NEAR(sm.mean_omega, sn.mean_omega, 0.02 * sn.mean_omega);
+  EXPECT_NEAR(sm.mean_beta, sn.mean_beta, 0.02 * sn.mean_beta);
+  EXPECT_NEAR(sm.var_omega, sn.var_omega, 0.06 * sn.var_omega);
+  EXPECT_NEAR(sm.cov, sn.cov, 0.10 * std::abs(sn.cov));
+}
+
+TEST_F(FailureTimeInfoCase, LaplaceMeanIsLeftShifted) {
+  const b::LaplaceEstimator lap(*post_);
+  const auto sn = nint_->summary();
+  EXPECT_LT(lap.summary().mean_omega, sn.mean_omega);
+  // But not absurdly so (paper: few percent).
+  EXPECT_GT(lap.summary().mean_omega, 0.9 * sn.mean_omega);
+}
+
+TEST_F(FailureTimeInfoCase, Vb1VarianceCollapsesVsNint) {
+  const c::Vb1Estimator vb1(1.0, *dt_, info_dt());
+  const auto s1 = vb1.posterior().summary();
+  const auto sn = nint_->summary();
+  EXPECT_LT(s1.var_omega, 0.85 * sn.var_omega);
+  EXPECT_LT(s1.var_beta, 0.65 * sn.var_beta);
+  EXPECT_DOUBLE_EQ(s1.cov, 0.0);
+}
+
+TEST_F(FailureTimeInfoCase, NinetyNinePercentIntervalsAgree) {
+  const auto no = nint_->interval_omega(0.99);
+  const auto vo = vb2_->posterior().interval_omega(0.99);
+  const auto mo = chain_->interval_omega(0.99);
+  EXPECT_NEAR(vo.lower, no.lower, 0.03 * no.lower);
+  EXPECT_NEAR(vo.upper, no.upper, 0.03 * no.upper);
+  EXPECT_NEAR(mo.lower, no.lower, 0.03 * no.lower);
+  EXPECT_NEAR(mo.upper, no.upper, 0.03 * no.upper);
+
+  const auto nb = nint_->interval_beta(0.99);
+  const auto vbq = vb2_->posterior().interval_beta(0.99);
+  EXPECT_NEAR(vbq.lower, nb.lower, 0.08 * nb.lower);
+  EXPECT_NEAR(vbq.upper, nb.upper, 0.04 * nb.upper);
+}
+
+TEST_F(FailureTimeInfoCase, ReliabilityEstimatesAgree) {
+  for (double u : {1000.0, 10000.0}) {
+    const auto rn = nint_->reliability(u, 0.99);
+    const auto rv = vb2_->posterior().reliability(u, 0.99);
+    const auto rm = chain_->reliability(u, 0.99);
+    EXPECT_NEAR(rv.point, rn.point, 0.01) << "u=" << u;
+    EXPECT_NEAR(rm.point, rn.point, 0.01) << "u=" << u;
+    EXPECT_NEAR(rv.lower, rn.lower, 0.02) << "u=" << u;
+    EXPECT_NEAR(rv.upper, rn.upper, 0.02) << "u=" << u;
+    EXPECT_NEAR(rm.lower, rn.lower, 0.02) << "u=" << u;
+    EXPECT_NEAR(rm.upper, rn.upper, 0.02) << "u=" << u;
+  }
+}
+
+TEST(GroupedInfoCase, Vb2TracksMcmcCloselyOnGroupedData) {
+  const auto dg = d::datasets::system17_grouped();
+  const c::Vb2Estimator vb2(1.0, dg, info_dg());
+  b::McmcOptions mc;
+  mc.seed = 4096;
+  mc.burn_in = 4000;
+  mc.thin = 4;
+  mc.samples = 10000;
+  const auto chain = b::gibbs_grouped(1.0, dg, info_dg(), mc);
+  const auto sv = vb2.posterior().summary();
+  const auto sm = chain.summary();
+  EXPECT_NEAR(sv.mean_omega, sm.mean_omega, 0.03 * sm.mean_omega);
+  EXPECT_NEAR(sv.mean_beta, sm.mean_beta, 0.03 * sm.mean_beta);
+  EXPECT_NEAR(sv.var_omega, sm.var_omega, 0.12 * sm.var_omega);
+  EXPECT_NEAR(sv.cov, sm.cov, 0.15 * std::abs(sm.cov));
+}
+
+TEST(GroupedNoInfoCase, EveryMethodReportsInstability) {
+  // Paper Sec. 6: with flat priors the grouped data cannot identify
+  // omega; the posterior grows a huge right tail.  We assert the
+  // *symptom* each method shows, not agreement between them.
+  const auto dg = d::datasets::system17_grouped();
+  const auto flat = b::PriorPair::flat();
+
+  const c::Vb2Estimator vb2(1.0, dg, flat);
+  const auto sv = vb2.posterior().summary();
+  const double cv_vb2 = std::sqrt(sv.var_omega) / sv.mean_omega;
+
+  // Compare against the Info case: the NoInfo coefficient of variation
+  // must be dramatically larger.
+  const c::Vb2Estimator vb2_info(1.0, dg, info_dg());
+  const auto si = vb2_info.posterior().summary();
+  const double cv_info = std::sqrt(si.var_omega) / si.mean_omega;
+  EXPECT_GT(cv_vb2, 2.0 * cv_info);
+
+  // MCMC shows the same long tail (mean far above the Info value).
+  b::McmcOptions mc;
+  mc.seed = 11;
+  mc.burn_in = 4000;
+  mc.thin = 4;
+  mc.samples = 10000;
+  const auto chain = b::gibbs_grouped(1.0, dg, flat, mc);
+  EXPECT_GT(chain.summary().var_omega, 10.0 * si.var_omega);
+}
+
+TEST(Performance, Vb2IsMuchFasterThanMcmcAtPaperConfigs) {
+  const auto dt = d::datasets::system17_failure_times();
+  const auto t0 = std::chrono::steady_clock::now();
+  const c::Vb2Estimator vb2(1.0, dt, info_dt());
+  const auto t1 = std::chrono::steady_clock::now();
+  b::McmcOptions mc;  // paper defaults: 630000 variates
+  const auto chain = b::gibbs_failure_times(1.0, dt, info_dt(), mc);
+  const auto t2 = std::chrono::steady_clock::now();
+  const double vb_sec = std::chrono::duration<double>(t1 - t0).count();
+  const double mc_sec = std::chrono::duration<double>(t2 - t1).count();
+  EXPECT_LT(vb_sec * 5.0, mc_sec)
+      << "VB2 " << vb_sec << "s vs MCMC " << mc_sec << "s";
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Empirical-Bayes prior estimation, infinite-failures contrast models,
+// and mixture-posterior serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "bayes/empirical.hpp"
+#include "core/vb2.hpp"
+#include "data/datasets.hpp"
+#include "data/simulate.hpp"
+#include "nhpp/fit.hpp"
+#include "nhpp/infinite.hpp"
+#include "nhpp/likelihood.hpp"
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+
+namespace b = vbsrm::bayes;
+namespace c = vbsrm::core;
+namespace d = vbsrm::data;
+namespace ninf = vbsrm::nhpp::infinite;
+
+namespace {
+
+std::vector<d::FailureTimeData> historical_projects(std::uint64_t seed,
+                                                    int n_projects) {
+  // Projects drawn around a common hyperprior: omega ~ N(100, 20),
+  // beta ~ around 1.5e-3.
+  std::vector<d::FailureTimeData> out;
+  vbsrm::random::Rng master(seed);
+  for (int k = 0; k < n_projects; ++k) {
+    vbsrm::random::Rng rng = master.split(static_cast<std::uint64_t>(k));
+    const double omega = 100.0 + 20.0 * (rng.next_double() - 0.5) * 2.0;
+    const double beta = 1.5e-3 * (0.8 + 0.4 * rng.next_double());
+    out.push_back(d::simulate_gamma_nhpp(rng, omega, 1.0, beta, 2200.0));
+  }
+  return out;
+}
+
+TEST(EmpiricalBayes, RequiresTwoProjects) {
+  const auto one = historical_projects(5, 1);
+  EXPECT_THROW(b::empirical_bayes_priors(1.0, one), std::invalid_argument);
+}
+
+TEST(EmpiricalBayes, RecoversHyperpriorRegion) {
+  const auto projects = historical_projects(7, 5);
+  const auto eb = b::empirical_bayes_priors(1.0, projects);
+  EXPECT_TRUE(eb.converged);
+  // The fitted prior means must be near the generating hyperprior
+  // centers (omega ~ 100, beta ~ 1.5e-3 within generous bands).
+  EXPECT_NEAR(eb.priors.omega.mean(), 100.0, 30.0);
+  EXPECT_NEAR(eb.priors.beta.mean(), 1.5e-3, 7e-4);
+  // The optimized evidence beats a deliberately poor prior's.
+  const b::PriorPair bad{b::GammaPrior::from_mean_sd(15.0, 3.0),
+                         b::GammaPrior::from_mean_sd(1e-4, 2e-5)};
+  EXPECT_GT(eb.log_marginal,
+            b::total_log_marginal(1.0, projects, bad) + 10.0);
+}
+
+TEST(EmpiricalBayes, FittedPriorsImproveNextProjectIntervals) {
+  // Using the empirical-Bayes priors on a *new* project from the same
+  // population should shrink the interval relative to flat priors while
+  // keeping the (known) truth covered.
+  // Type-II ML with a handful of projects is known to understate the
+  // hyper-variance, so test with a population-typical new project (the
+  // hyperprior center), not an edge case.
+  const auto projects = historical_projects(11, 6);
+  const auto eb = b::empirical_bayes_priors(1.0, projects);
+  vbsrm::random::Rng rng(999);
+  const double omega_new = 100.0, beta_new = 1.5e-3;
+  const auto fresh = d::simulate_gamma_nhpp(rng, omega_new, 1.0, beta_new,
+                                            900.0);  // early, little data
+  const c::Vb2Estimator with_eb(1.0, fresh, eb.priors);
+  const c::Vb2Estimator with_flat(1.0, fresh, b::PriorPair::flat());
+  const auto io_eb = with_eb.posterior().interval_omega(0.95);
+  const auto io_flat = with_flat.posterior().interval_omega(0.95);
+  EXPECT_LT(io_eb.upper - io_eb.lower, io_flat.upper - io_flat.lower);
+  EXPECT_GE(omega_new, io_eb.lower);
+  EXPECT_LE(omega_new, io_eb.upper);
+}
+
+TEST(MusaOkumoto, MeanValueAndIntensityConsistent) {
+  const ninf::MusaOkumotoModel mo{2.0, 0.05};
+  EXPECT_DOUBLE_EQ(mo.mean_value(0.0), 0.0);
+  // d/dt Lambda = intensity.
+  for (double t : {0.5, 3.0, 20.0}) {
+    const double h = 1e-6 * (t + 1.0);
+    const double num = (mo.mean_value(t + h) - mo.mean_value(t - h)) / (2 * h);
+    EXPECT_NEAR(num, mo.intensity(t), 1e-7) << t;
+  }
+  // Unbounded mean value (infinite failures category).
+  EXPECT_GT(mo.mean_value(1e9), mo.mean_value(1e6) + 1.0);
+}
+
+TEST(PowerLaw, ClosedFormMleMatchesLikelihoodMaximum) {
+  vbsrm::random::Rng rng(61);
+  // Simulate a power-law NHPP by inverse transform of Lambda: event
+  // count ~ Poisson(Lambda(te)); times t = te * U^{1/b} i.i.d.
+  const double a = 0.8, bb = 0.6, te = 1000.0;
+  const auto n = vbsrm::random::sample_poisson(rng, a * std::pow(te, bb));
+  std::vector<double> times;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    times.push_back(te * std::pow(rng.next_open(), 1.0 / bb));
+  }
+  std::sort(times.begin(), times.end());
+  d::FailureTimeData sim(std::move(times), te);
+
+  const auto fit = ninf::fit_power_law(sim);
+  EXPECT_NEAR(fit.model.b, bb, 0.15);
+  // MLE beats nearby parameter points.
+  for (double db : {-0.05, 0.05}) {
+    ninf::PowerLawModel nearby{fit.model.a, fit.model.b + db};
+    EXPECT_GE(fit.log_likelihood, ninf::log_likelihood(nearby, sim));
+  }
+}
+
+TEST(MusaOkumoto, FitBeatsNaiveStartAndMatchesCategory) {
+  // Data from a Musa-Okumoto process (simulate via thinning).
+  vbsrm::random::Rng rng(62);
+  const ninf::MusaOkumotoModel truth{0.4, 0.08};
+  const auto sim = d::simulate_by_thinning(
+      rng, [&](double t) { return truth.intensity(t); }, truth.intensity(0.0),
+      2000.0);
+  ASSERT_GT(sim.count(), 20u);
+  const auto fit = ninf::fit_musa_okumoto(sim);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_GE(fit.log_likelihood, ninf::log_likelihood(truth, sim) - 1e-6);
+  // Category contrast: on log-growth data, Musa-Okumoto should beat the
+  // finite GO model in AIC terms.
+  const auto go = vbsrm::nhpp::fit_em(1.0, sim);
+  EXPECT_LT(fit.aic, vbsrm::nhpp::aic(go.log_likelihood) + 2.0);
+}
+
+TEST(InfiniteModels, ReliabilityDecaysButNeverSaturates) {
+  const ninf::PowerLawModel pl{0.5, 0.7};
+  const double t = 500.0;
+  EXPECT_LT(pl.reliability(t, 100.0), 1.0);
+  EXPECT_GT(pl.reliability(t, 100.0), pl.reliability(t, 1000.0));
+  EXPECT_THROW(pl.reliability(t, -1.0), std::invalid_argument);
+  // Unlike finite models, R(t, u) -> 0 as u -> inf.
+  EXPECT_LT(pl.reliability(t, 1e8), 1e-6);
+}
+
+TEST(InfiniteModels, FitValidation) {
+  d::FailureTimeData one({5.0}, 10.0);
+  EXPECT_THROW(ninf::fit_power_law(one), std::invalid_argument);
+  EXPECT_THROW(ninf::fit_musa_okumoto(one), std::invalid_argument);
+}
+
+TEST(Serialization, MixtureRoundTripsThroughCsv) {
+  const auto dt = d::datasets::system17_failure_times();
+  const b::PriorPair priors{b::GammaPrior::from_mean_sd(50.0, 15.8),
+                            b::GammaPrior::from_mean_sd(1e-5, 3.2e-6)};
+  const c::Vb2Estimator vb2(1.0, dt, priors);
+  const auto& post = vb2.posterior();
+
+  std::istringstream in(post.to_csv());
+  const auto back = c::GammaMixturePosterior::from_csv(in);
+
+  EXPECT_EQ(back.components().size(), post.components().size());
+  EXPECT_DOUBLE_EQ(back.alpha0(), post.alpha0());
+  EXPECT_DOUBLE_EQ(back.horizon(), post.horizon());
+  const auto s0 = post.summary();
+  const auto s1 = back.summary();
+  EXPECT_DOUBLE_EQ(s1.mean_omega, s0.mean_omega);
+  EXPECT_DOUBLE_EQ(s1.var_beta, s0.var_beta);
+  EXPECT_NEAR(back.reliability_point(1000.0), post.reliability_point(1000.0),
+              1e-14);
+}
+
+TEST(Serialization, RejectsMalformedCsv) {
+  std::istringstream bad("1.0,100\n40,0.5,1.0\n");
+  EXPECT_THROW(c::GammaMixturePosterior::from_csv(bad),
+               std::invalid_argument);
+  std::istringstream empty("");
+  EXPECT_THROW(c::GammaMixturePosterior::from_csv(empty),
+               std::invalid_argument);
+}
+
+}  // namespace

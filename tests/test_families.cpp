@@ -1,0 +1,183 @@
+// The NHPP model-family zoo: distributional correctness of every
+// registered family, generic MLE recovery, and AIC ranking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/datasets.hpp"
+#include "nhpp/families.hpp"
+#include "nhpp/fit.hpp"
+#include "nhpp/likelihood.hpp"
+#include "random/rng.hpp"
+#include "stats/gof.hpp"
+
+namespace f = vbsrm::nhpp::families;
+namespace d = vbsrm::data;
+
+namespace {
+
+// Every family, with a representative working-parameter vector whose
+// scale suits t in (0, ~10).
+struct Case {
+  const f::Family* family;
+  std::vector<double> w;
+};
+
+std::vector<Case> representative_cases() {
+  return {
+      {&f::exponential(), {std::log(0.5)}},
+      {&f::rayleigh(), {std::log(2.0)}},
+      {&f::weibull(), {std::log(0.4), std::log(1.7)}},
+      {&f::gamma_free(), {std::log(0.8), std::log(2.5)}},
+      {&f::lognormal(), {std::log(1.5), std::log(0.6)}},
+      {&f::pareto(), {std::log(2.0), std::log(2.5)}},
+      {&f::loglogistic(), {std::log(1.8), std::log(2.2)}},
+  };
+}
+
+class FamilySweep : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  Case c_ = representative_cases()[GetParam()];
+};
+
+TEST_P(FamilySweep, CdfIsValidDistribution) {
+  const auto& [fam, w] = c_;
+  EXPECT_NEAR(fam->cdf(0.0, w), 0.0, 1e-12);
+  EXPECT_NEAR(fam->cdf(-1.0, w), 0.0, 1e-12);
+  double prev = 0.0;
+  for (double t = 0.05; t < 60.0; t *= 1.3) {
+    const double p = fam->cdf(t, w);
+    EXPECT_GE(p, prev - 1e-13) << fam->name() << " t=" << t;
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  EXPECT_GT(fam->cdf(1e5, w), 0.99) << fam->name();
+}
+
+TEST_P(FamilySweep, PdfIsDerivativeOfCdf) {
+  const auto& [fam, w] = c_;
+  for (double t : {0.3, 1.0, 2.5, 6.0}) {
+    const double h = 1e-6 * t;
+    const double numeric = (fam->cdf(t + h, w) - fam->cdf(t - h, w)) / (2 * h);
+    EXPECT_NEAR(fam->pdf(t, w), numeric,
+                1e-5 * std::max(1.0, numeric))
+        << fam->name() << " t=" << t;
+  }
+}
+
+TEST_P(FamilySweep, SampleMatchesCdfByKs) {
+  const auto& [fam, w] = c_;
+  vbsrm::random::Rng rng(1000 + GetParam());
+  std::vector<double> x;
+  for (int i = 0; i < 2000; ++i) x.push_back(fam->sample(rng, w));
+  const auto ks = vbsrm::stats::ks_test(
+      x, [&](double t) { return fam->cdf(t, w); });
+  EXPECT_GT(ks.p_value, 1e-3) << fam->name();
+}
+
+TEST_P(FamilySweep, IntervalMassPartitions) {
+  const auto& [fam, w] = c_;
+  const double total =
+      fam->interval_mass(0.0, 1.0, w) + fam->interval_mass(1.0, 4.0, w) +
+      fam->interval_mass(4.0, std::numeric_limits<double>::infinity(), w);
+  EXPECT_NEAR(total, 1.0, 1e-10) << fam->name();
+}
+
+TEST_P(FamilySweep, MleRecoversSimulationTruth) {
+  const auto& [fam, w] = c_;
+  vbsrm::random::Rng rng(2000 + GetParam());
+  const double omega = 400.0;
+  // Horizon at the 95% quantile of the family so most faults are seen.
+  double te = 1.0;
+  while (fam->cdf(te, w) < 0.95) te *= 1.4;
+  const auto sim = f::simulate_family(rng, *fam, omega, w, te);
+  ASSERT_GT(sim.count(), 200u);
+  const auto fit = f::fit_family(*fam, sim);
+  EXPECT_TRUE(fit.converged) << fam->name();
+  EXPECT_NEAR(fit.omega, omega, 0.15 * omega) << fam->name();
+  // Log-likelihood at the fit must beat the truth's (it is the MLE).
+  EXPECT_GE(fit.log_likelihood + 1e-6,
+            f::family_log_likelihood(*fam, omega, w, sim))
+      << fam->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilySweep,
+                         ::testing::Range<std::size_t>(0, 7));
+
+TEST(Families, RegistryLookup) {
+  EXPECT_EQ(f::all_families().size(), 7u);
+  EXPECT_EQ(f::find_family("weibull"), &f::weibull());
+  EXPECT_EQ(f::find_family("no-such-family"), nullptr);
+}
+
+TEST(Families, DescribeRendersNaturalParams) {
+  const auto s = f::weibull().describe(std::vector<double>{0.0, 0.0});
+  EXPECT_NE(s.find("weibull"), std::string::npos);
+  EXPECT_NE(s.find("rate=1"), std::string::npos);
+  EXPECT_NE(s.find("shape=1"), std::string::npos);
+}
+
+TEST(Families, ExponentialMatchesGammaTypeLikelihood) {
+  // The zoo's exponential at rate b must give the same log-likelihood
+  // as the gamma-type machinery with alpha0 = 1.
+  const auto dt = d::datasets::system17_failure_times();
+  const double beta = 1.26e-5;
+  const std::vector<double> w{std::log(beta)};
+  EXPECT_NEAR(f::family_log_likelihood(f::exponential(), 44.0, w, dt),
+              vbsrm::nhpp::log_likelihood_at(1.0, 44.0, beta, dt), 1e-8);
+}
+
+TEST(Families, GammaFreeMatchesFixedShapeAtSamePoint) {
+  const auto dt = d::datasets::system17_failure_times();
+  const std::vector<double> w{std::log(1.9e-5), std::log(2.0)};
+  EXPECT_NEAR(f::family_log_likelihood(f::gamma_free(), 44.0, w, dt),
+              vbsrm::nhpp::log_likelihood_at(2.0, 44.0, 1.9e-5, dt), 1e-7);
+}
+
+TEST(Families, RankingPrefersGeneratingFamily) {
+  vbsrm::random::Rng rng(77);
+  const std::vector<double> w{std::log(1.5), std::log(0.5)};  // lognormal
+  double te = 1.0;
+  while (f::lognormal().cdf(te, w) < 0.97) te *= 1.4;
+  const auto sim = f::simulate_family(rng, f::lognormal(), 500.0, w, te);
+  const auto ranking = f::rank_families(sim);
+  ASSERT_GE(ranking.size(), 5u);
+  // The generating family must be at or very near the top.
+  std::size_t pos = ranking.size();
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    if (ranking[i].family == &f::lognormal()) pos = i;
+  }
+  EXPECT_LE(pos, 1u);
+  // AIC sorted ascending.
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_LE(ranking[i - 1].aic, ranking[i].aic);
+  }
+}
+
+TEST(Families, RankingWorksOnGroupedData) {
+  const auto dg = d::datasets::system17_grouped();
+  const auto ranking = f::rank_families(dg);
+  ASSERT_GE(ranking.size(), 4u);
+  // The grouped stand-in is DSS-generated: a hump-capable family
+  // (gamma with shape ~2, weibull shape > 1, ...) must beat the
+  // exponential.
+  double aic_exp = 0.0, aic_best = ranking.front().aic;
+  for (const auto& fit : ranking) {
+    if (fit.family == &f::exponential()) aic_exp = fit.aic;
+  }
+  EXPECT_GT(aic_exp, aic_best);
+}
+
+TEST(Families, FitRejectsEmptyData) {
+  d::FailureTimeData empty({}, 10.0);
+  EXPECT_THROW(f::fit_family(f::weibull(), empty), std::invalid_argument);
+}
+
+TEST(Families, SimulateRejectsBadArgs) {
+  vbsrm::random::Rng rng(1);
+  const std::vector<double> w{0.0};
+  EXPECT_THROW(f::simulate_family(rng, f::exponential(), -1.0, w, 10.0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,210 @@
+// The mixture-of-product-gammas posterior object: moments, quantiles,
+// densities, sampling, and reliability functionals, validated against
+// closed forms for single components and against Monte Carlo for
+// multi-component mixtures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gamma_mixture.hpp"
+#include "math/specfun.hpp"
+#include "nhpp/model.hpp"
+#include "random/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace c = vbsrm::core;
+namespace m = vbsrm::math;
+
+namespace {
+
+c::GammaMixturePosterior one_component() {
+  c::ProductGammaComponent comp;
+  comp.n = 40;
+  comp.weight = 1.0;
+  comp.omega = {48.0, 1.2};   // mean 40, var 33.3
+  comp.beta = {9.77, 9.77e5}; // mean 1e-5
+  return c::GammaMixturePosterior({comp}, 1.0, 160000.0);
+}
+
+c::GammaMixturePosterior two_components() {
+  c::ProductGammaComponent a, b;
+  a.n = 40;
+  a.weight = 3.0;  // unnormalized on purpose
+  a.omega = {40.0, 1.0};
+  a.beta = {10.0, 1e6};
+  b.n = 60;
+  b.weight = 1.0;
+  b.omega = {60.0, 1.0};
+  b.beta = {10.0, 0.8e6};
+  return c::GammaMixturePosterior({a, b}, 1.0, 160000.0);
+}
+
+TEST(GammaParams, MomentsQuantileCdfAgree) {
+  const c::GammaParams g{5.0, 2.0};
+  EXPECT_DOUBLE_EQ(g.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(g.variance(), 1.25);
+  const double q = g.quantile(0.3);
+  EXPECT_NEAR(g.cdf(q), 0.3, 1e-10);
+  // pdf integrates against cdf: numeric derivative check.
+  const double h = 1e-6;
+  EXPECT_NEAR((g.cdf(q + h) - g.cdf(q - h)) / (2 * h),
+              std::exp(g.log_pdf(q)), 1e-5);
+}
+
+TEST(Mixture, ValidatesComponents) {
+  EXPECT_THROW(c::GammaMixturePosterior({}, 1.0, 1.0), std::invalid_argument);
+  c::ProductGammaComponent bad;
+  bad.weight = -1.0;
+  EXPECT_THROW(c::GammaMixturePosterior({bad}, 1.0, 1.0),
+               std::invalid_argument);
+  c::ProductGammaComponent zero;
+  zero.weight = 0.0;
+  zero.omega = {1.0, 1.0};
+  zero.beta = {1.0, 1.0};
+  EXPECT_THROW(c::GammaMixturePosterior({zero}, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Mixture, NormalizesWeights) {
+  const auto mix = two_components();
+  EXPECT_NEAR(mix.components()[0].weight, 0.75, 1e-12);
+  EXPECT_NEAR(mix.components()[1].weight, 0.25, 1e-12);
+  EXPECT_NEAR(mix.prob_total_faults(40), 0.75, 1e-12);
+  EXPECT_NEAR(mix.mean_total_faults(), 0.75 * 40 + 0.25 * 60, 1e-9);
+}
+
+TEST(Mixture, SingleComponentMomentsAreGammaMoments) {
+  const auto mix = one_component();
+  const auto s = mix.summary();
+  EXPECT_NEAR(s.mean_omega, 40.0, 1e-10);
+  EXPECT_NEAR(s.var_omega, 48.0 / 1.44, 1e-9);
+  EXPECT_NEAR(s.mean_beta, 1e-5, 1e-15);
+  EXPECT_NEAR(s.cov, 0.0, 1e-15);  // independent within one component
+}
+
+TEST(Mixture, TwoComponentMomentsByTotalVarianceFormula) {
+  const auto mix = two_components();
+  const auto s = mix.summary();
+  // E[omega] = .75*40 + .25*60 = 45.
+  EXPECT_NEAR(s.mean_omega, 45.0, 1e-9);
+  // Var = E[Var|N] + Var(E[omega|N]) = (.75*40+.25*60) + (.75*25+.25*225).
+  EXPECT_NEAR(s.var_omega, 45.0 + 75.0, 1e-9);
+  // Cov from component means: E[mo*mb] - E[mo]E[mb].
+  const double mb_a = 10.0 / 1e6, mb_b = 10.0 / 0.8e6;
+  const double eb = 0.75 * mb_a + 0.25 * mb_b;
+  const double eob = 0.75 * 40.0 * mb_a + 0.25 * 60.0 * mb_b;
+  EXPECT_NEAR(s.cov, eob - 45.0 * eb, 1e-15);
+  EXPECT_GT(s.cov, 0.0);  // bigger N pairs with bigger beta mean here
+}
+
+TEST(Mixture, CdfQuantileRoundTrip) {
+  const auto mix = two_components();
+  for (double p : {0.005, 0.1, 0.5, 0.9, 0.995}) {
+    EXPECT_NEAR(mix.cdf_omega(mix.quantile_omega(p)), p, 1e-9) << p;
+    EXPECT_NEAR(mix.cdf_beta(mix.quantile_beta(p)), p, 1e-9) << p;
+  }
+  EXPECT_THROW(mix.quantile_omega(0.0), std::invalid_argument);
+  EXPECT_THROW(mix.quantile_beta(1.0), std::invalid_argument);
+}
+
+TEST(Mixture, IntervalsOrdered) {
+  const auto mix = two_components();
+  const auto io = mix.interval_omega(0.99);
+  const auto s = mix.summary();
+  EXPECT_LT(io.lower, s.mean_omega);
+  EXPECT_GT(io.upper, s.mean_omega);
+  const auto i95 = mix.interval_omega(0.95);
+  EXPECT_GT(i95.lower, io.lower);
+  EXPECT_LT(i95.upper, io.upper);
+}
+
+TEST(Mixture, MarginalPdfIntegratesToOne) {
+  const auto mix = two_components();
+  double mass = 0.0;
+  const double dx = 0.05;
+  for (double x = dx / 2; x < 150.0; x += dx) {
+    mass += mix.marginal_pdf_omega(x) * dx;
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-6);
+}
+
+TEST(Mixture, JointDensityIsProductMixture) {
+  const auto mix = one_component();
+  const double o = 40.0, be = 1e-5;
+  const auto& comp = mix.components()[0];
+  EXPECT_NEAR(mix.joint_density(o, be),
+              std::exp(comp.omega.log_pdf(o) + comp.beta.log_pdf(be)),
+              1e-12);
+}
+
+TEST(Mixture, SamplingMatchesMoments) {
+  const auto mix = two_components();
+  vbsrm::random::Rng rng(77);
+  std::vector<double> omega, beta;
+  for (int i = 0; i < 200000; ++i) {
+    const auto [o, b] = mix.sample(rng);
+    omega.push_back(o);
+    beta.push_back(b);
+  }
+  const auto s = mix.summary();
+  EXPECT_NEAR(vbsrm::stats::mean(omega), s.mean_omega, 0.1);
+  EXPECT_NEAR(vbsrm::stats::variance(omega), s.var_omega, 2.5);
+  EXPECT_NEAR(vbsrm::stats::mean(beta), s.mean_beta, 1e-7);
+  EXPECT_NEAR(vbsrm::stats::covariance(omega, beta), s.cov, 3e-5);
+}
+
+TEST(MixtureReliability, SingleComponentClosedFormInOmega) {
+  // With beta essentially degenerate the reliability point estimate is
+  // (b_w/(b_w+h))^{a_w} exactly.
+  c::ProductGammaComponent comp;
+  comp.weight = 1.0;
+  comp.omega = {48.0, 1.2};
+  comp.beta = {1e8, 1e8 / 1e-5};  // mean 1e-5, sd 1e-9
+  c::GammaMixturePosterior mix({comp}, 1.0, 160000.0);
+  const double u = 1000.0;
+  const vbsrm::nhpp::GammaFailureLaw law{1.0};
+  const double h = law.interval_mass(160000.0, 161000.0, 1e-5);
+  const double exact = std::pow(1.2 / (1.2 + h), 48.0);
+  EXPECT_NEAR(mix.reliability_point(u), exact, 1e-6);
+}
+
+TEST(MixtureReliability, AgainstMonteCarlo) {
+  const auto mix = two_components();
+  vbsrm::random::Rng rng(88);
+  const double u = 10000.0;
+  const vbsrm::nhpp::GammaFailureLaw law{1.0};
+  std::vector<double> r;
+  for (int i = 0; i < 200000; ++i) {
+    const auto [o, b] = mix.sample(rng);
+    r.push_back(std::exp(-o * law.interval_mass(160000.0, 160000.0 + u, b)));
+  }
+  EXPECT_NEAR(mix.reliability_point(u), vbsrm::stats::mean(r), 2e-3);
+  // Cross-check the cdf at a couple of points.
+  for (double x : {0.5, 0.8, 0.95}) {
+    double mc = 0.0;
+    for (double v : r) mc += (v <= x);
+    mc /= static_cast<double>(r.size());
+    EXPECT_NEAR(mix.reliability_cdf(x, u), mc, 5e-3) << "x=" << x;
+  }
+}
+
+TEST(MixtureReliability, QuantileRoundTripsAndOrdering) {
+  const auto mix = two_components();
+  const double u = 10000.0;
+  const auto r = mix.reliability(u, 0.99);
+  EXPECT_GT(r.lower, 0.0);
+  EXPECT_LT(r.upper, 1.0);
+  EXPECT_LT(r.lower, r.point);
+  EXPECT_GT(r.upper, r.point);
+  EXPECT_NEAR(mix.reliability_cdf(r.lower, u), 0.005, 1e-6);
+  EXPECT_NEAR(mix.reliability_cdf(r.upper, u), 0.995, 1e-6);
+}
+
+TEST(MixtureReliability, CdfBoundaries) {
+  const auto mix = one_component();
+  EXPECT_DOUBLE_EQ(mix.reliability_cdf(0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(mix.reliability_cdf(1.0, 100.0), 1.0);
+  EXPECT_THROW(mix.reliability_quantile(0.0, 100.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Laplace approximation: MAP location, Gaussian-exactness oracle, and
+// the paper's documented defects (symmetry, out-of-range reliability
+// bounds).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/laplace.hpp"
+#include "bayes/nint.hpp"
+#include "data/datasets.hpp"
+#include "math/optimize.hpp"
+
+namespace b = vbsrm::bayes;
+namespace d = vbsrm::data;
+
+namespace {
+
+b::PriorPair info_priors_dt() {
+  return {b::GammaPrior::from_mean_sd(50.0, 15.8),
+          b::GammaPrior::from_mean_sd(1e-5, 3.2e-6)};
+}
+
+TEST(Laplace, MapIsStationaryPoint) {
+  const auto dt = d::datasets::system17_failure_times();
+  b::LogPosterior post(1.0, dt, info_priors_dt());
+  b::LaplaceEstimator lap(post);
+  const double o = lap.map_omega(), be = lap.map_beta();
+  // Gradient of the log posterior vanishes at the MAP.
+  auto f = [&](const std::vector<double>& p) { return post(p[0], p[1]); };
+  const auto g = vbsrm::math::numeric_gradient(f, {o, be});
+  // Scale gradients by the parameter magnitudes (beta ~ 1e-5).
+  EXPECT_NEAR(g[0] * o, 0.0, 1e-3);
+  EXPECT_NEAR(g[1] * be, 0.0, 1e-3);
+}
+
+TEST(Laplace, MapBelowPosteriorMeanForRightSkewedTarget) {
+  // The paper's explanation of LAPL's bias: mode < mean when the
+  // posterior is right-skewed.
+  const auto dt = d::datasets::system17_failure_times();
+  b::LogPosterior post(1.0, dt, info_priors_dt());
+  b::LaplaceEstimator lap(post);
+  b::NintEstimator nint(post, {15.0, 110.0, 2e-6, 3e-5});
+  EXPECT_LT(lap.summary().mean_omega, nint.summary().mean_omega);
+}
+
+TEST(Laplace, CovarianceCapturesNegativeCorrelation) {
+  const auto dt = d::datasets::system17_failure_times();
+  b::LogPosterior post(1.0, dt, info_priors_dt());
+  b::LaplaceEstimator lap(post);
+  const auto s = lap.summary();
+  EXPECT_GT(s.var_omega, 0.0);
+  EXPECT_GT(s.var_beta, 0.0);
+  EXPECT_LT(s.cov, 0.0);  // unlike VB1, LAPL does model the correlation
+}
+
+TEST(Laplace, IntervalsAreSymmetricAroundMap) {
+  const auto dt = d::datasets::system17_failure_times();
+  b::LogPosterior post(1.0, dt, info_priors_dt());
+  b::LaplaceEstimator lap(post);
+  const auto io = lap.interval_omega(0.99);
+  EXPECT_NEAR(0.5 * (io.lower + io.upper), lap.map_omega(), 1e-9);
+  const auto ib = lap.interval_beta(0.95);
+  EXPECT_NEAR(0.5 * (ib.lower + ib.upper), lap.map_beta(), 1e-12);
+  EXPECT_LT(io.lower, io.upper);
+}
+
+TEST(Laplace, WiderLevelGivesWiderInterval) {
+  const auto dt = d::datasets::system17_failure_times();
+  b::LogPosterior post(1.0, dt, info_priors_dt());
+  b::LaplaceEstimator lap(post);
+  const auto i95 = lap.interval_omega(0.95);
+  const auto i99 = lap.interval_omega(0.99);
+  EXPECT_LT(i99.lower, i95.lower);
+  EXPECT_GT(i99.upper, i95.upper);
+}
+
+TEST(Laplace, ExactOnGaussianTarget) {
+  // Build a synthetic "posterior" that *is* Gaussian by using a huge
+  // conjugate-prior-dominated case: prior shape so large the likelihood
+  // barely matters and the gamma prior is locally Gaussian.
+  const auto dt = d::datasets::system17_failure_times();
+  const b::PriorPair tight{b::GammaPrior::from_mean_sd(50.0, 0.05),
+                           b::GammaPrior::from_mean_sd(1e-5, 1e-8)};
+  b::LogPosterior post(1.0, dt, tight);
+  b::LaplaceEstimator lap(post);
+  // MAP must sit essentially at the prior mode; for Gamma(k, r) the mode
+  // is (k-1)/r, which for sd << mean is ~ mean.
+  EXPECT_NEAR(lap.map_omega(), 50.0, 0.2);
+  EXPECT_NEAR(lap.map_beta(), 1e-5, 5e-8);
+  EXPECT_NEAR(std::sqrt(lap.covariance()(0, 0)), 0.05, 0.01);
+}
+
+TEST(Laplace, ReliabilityPointIsPlugIn) {
+  const auto dt = d::datasets::system17_failure_times();
+  b::LogPosterior post(1.0, dt, info_priors_dt());
+  b::LaplaceEstimator lap(post);
+  const double u = 1000.0;
+  const vbsrm::nhpp::GammaFailureLaw law{1.0};
+  const double h =
+      law.interval_mass(160000.0, 161000.0, lap.map_beta());
+  const auto r = lap.reliability(u, 0.99);
+  EXPECT_NEAR(r.point, std::exp(-lap.map_omega() * h), 1e-12);
+  EXPECT_LT(r.lower, r.point);
+  EXPECT_GT(r.upper, r.point);
+}
+
+TEST(Laplace, ReliabilityUpperBoundCanExceedOne) {
+  // The paper's Table 4 shows LAPL reliability upper bounds > 1 when
+  // the point estimate sits near 1 and the parameter uncertainty is
+  // large relative to 1 - R.  A small sample with flat priors gives the
+  // needed relative uncertainty (sd(omega)/omega ~ 1/sqrt(m)).
+  d::FailureTimeData small({50.0, 130.0, 260.0, 420.0, 700.0, 1100.0,
+                            1700.0, 2600.0},
+                           3000.0);
+  b::LogPosterior post(1.0, small, b::PriorPair::flat());
+  b::LaplaceEstimator lap(post);
+  const auto r = lap.reliability(5.0, 0.99);  // R very close to 1
+  EXPECT_GT(r.point, 0.95);
+  EXPECT_TRUE(b::LaplaceEstimator::reliability_estimate_out_of_range(r));
+  EXPECT_GT(r.upper, 1.0);
+}
+
+TEST(Laplace, GroupedDataWorks) {
+  const auto dg = d::datasets::system17_grouped();
+  const b::PriorPair info{b::GammaPrior::from_mean_sd(50.0, 15.8),
+                          b::GammaPrior::from_mean_sd(3.3e-2, 1.1e-2)};
+  b::LogPosterior post(1.0, dg, info);
+  b::LaplaceEstimator lap(post);
+  EXPECT_GT(lap.map_omega(), 30.0);
+  EXPECT_LT(lap.map_omega(), 70.0);
+  EXPECT_GT(lap.map_beta(), 1e-2);
+  EXPECT_LT(lap.map_beta(), 5e-2);
+}
+
+}  // namespace

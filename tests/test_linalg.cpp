@@ -1,0 +1,112 @@
+// Small dense linear algebra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/linalg.hpp"
+
+namespace m = vbsrm::math;
+
+namespace {
+
+TEST(Matrix, IdentityAndIndexing) {
+  auto i3 = m::Matrix::identity(3);
+  EXPECT_EQ(i3.rows(), 3u);
+  EXPECT_EQ(i3(0, 0), 1.0);
+  EXPECT_EQ(i3(0, 1), 0.0);
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  auto a = m::Matrix::from_rows({{1, 2}, {3, 4}});
+  auto b = m::Matrix::from_rows({{5, 6}, {7, 8}});
+  auto c = a * b;
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, TransposeAndShapeMismatch) {
+  auto a = m::Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  auto t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_THROW(a + t, std::invalid_argument);
+  EXPECT_THROW(a * a, std::invalid_argument);
+}
+
+TEST(Cholesky, ReconstructsSPDMatrix) {
+  auto a = m::Matrix::from_rows({{4, 2, 0.5}, {2, 5, 1}, {0.5, 1, 3}});
+  auto l = m::cholesky(a);
+  auto llt = l * l.transpose();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(llt(i, j), a(i, j), 1e-12);
+    }
+  }
+  // Lower triangular.
+  EXPECT_EQ(l(0, 1), 0.0);
+  EXPECT_EQ(l(0, 2), 0.0);
+}
+
+TEST(Cholesky, RejectsNonSPD) {
+  auto a = m::Matrix::from_rows({{1, 2}, {2, 1}});  // indefinite
+  EXPECT_THROW(m::cholesky(a), std::domain_error);
+}
+
+TEST(Solve, MatchesKnownSolution) {
+  auto a = m::Matrix::from_rows({{2, 1}, {1, 3}});
+  const auto x = m::solve(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, PivotingHandlesZeroDiagonal) {
+  auto a = m::Matrix::from_rows({{0, 1}, {1, 0}});
+  const auto x = m::solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(Solve, ThrowsOnSingular) {
+  auto a = m::Matrix::from_rows({{1, 2}, {2, 4}});
+  EXPECT_THROW(m::solve(a, {1.0, 2.0}), std::domain_error);
+}
+
+TEST(Inverse, TimesOriginalIsIdentity) {
+  auto a = m::Matrix::from_rows({{3, 1, 2}, {1, 4, 1}, {2, 1, 5}});
+  auto inv = m::inverse(a);
+  auto prod = a * inv;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Determinant, KnownValuesAndSingular) {
+  auto a = m::Matrix::from_rows({{2, 0}, {0, 3}});
+  EXPECT_NEAR(m::determinant(a), 6.0, 1e-13);
+  auto b = m::Matrix::from_rows({{1, 2}, {2, 4}});
+  EXPECT_EQ(m::determinant(b), 0.0);
+  // Permutation sign.
+  auto p = m::Matrix::from_rows({{0, 1}, {1, 0}});
+  EXPECT_NEAR(m::determinant(p), -1.0, 1e-14);
+}
+
+TEST(Sym2x2Eigen, MatchesCharacteristicRoots) {
+  auto a = m::Matrix::from_rows({{2, 1}, {1, 2}});
+  const auto [lo, hi] = m::sym2x2_eigenvalues(a);
+  EXPECT_NEAR(lo, 1.0, 1e-12);
+  EXPECT_NEAR(hi, 3.0, 1e-12);
+}
+
+TEST(Sym2x2Eigen, PositiveDefiniteCovarianceCheck) {
+  // A Laplace covariance-like matrix with strong negative correlation.
+  auto a = m::Matrix::from_rows({{56.2, -8.3e-6}, {-8.3e-6, 6.3e-12}});
+  const auto [lo, hi] = m::sym2x2_eigenvalues(a);
+  EXPECT_GT(lo, 0.0);
+  EXPECT_GT(hi, lo);
+}
+
+}  // namespace

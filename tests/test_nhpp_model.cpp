@@ -1,0 +1,165 @@
+// Gamma-type NHPP models: closed-form cross-checks for the two named
+// members (Goel-Okumoto, delayed S-shaped) and the generic law.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "nhpp/model.hpp"
+
+namespace n = vbsrm::nhpp;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(GoelOkumoto, MeanValueClosedForm) {
+  const auto go = n::goel_okumoto(50.0, 2e-3);
+  for (double t : {0.0, 100.0, 500.0, 5000.0}) {
+    EXPECT_NEAR(go.mean_value(t), 50.0 * (1.0 - std::exp(-2e-3 * t)), 1e-10)
+        << "t=" << t;
+  }
+  EXPECT_NEAR(go.intensity(100.0), 50.0 * 2e-3 * std::exp(-0.2), 1e-10);
+}
+
+TEST(DelayedSShaped, MeanValueClosedForm) {
+  const auto dss = n::delayed_s_shaped(30.0, 1e-2);
+  for (double t : {0.0, 50.0, 200.0, 1000.0}) {
+    const double bt = 1e-2 * t;
+    EXPECT_NEAR(dss.mean_value(t), 30.0 * (1.0 - (1.0 + bt) * std::exp(-bt)),
+                1e-9)
+        << "t=" << t;
+  }
+}
+
+TEST(DelayedSShaped, IntensityIsHumpShaped) {
+  const auto dss = n::delayed_s_shaped(30.0, 1e-2);
+  // lambda(t) = omega b^2 t e^{-bt}: peaks at t = 1/b = 100.
+  EXPECT_LT(dss.intensity(10.0), dss.intensity(100.0));
+  EXPECT_GT(dss.intensity(100.0), dss.intensity(400.0));
+}
+
+TEST(GammaTypeModel, RejectsBadParameters) {
+  EXPECT_THROW(n::GammaTypeModel(0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(n::GammaTypeModel(1.0, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(n::GammaTypeModel(1.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(GammaTypeModel, ResidualFaultsComplement) {
+  const auto m = n::GammaTypeModel(2.5, 40.0, 1e-3);
+  for (double t : {0.0, 500.0, 5000.0}) {
+    EXPECT_NEAR(m.mean_value(t) + m.residual_faults(t), 40.0, 1e-9);
+  }
+}
+
+TEST(Reliability, MatchesEquationThree) {
+  const auto go = n::goel_okumoto(44.0, 1.26e-5);
+  const double te = 160000.0, u = 1000.0;
+  const double expected = std::exp(-(go.mean_value(te + u) -
+                                     go.mean_value(te)));
+  EXPECT_NEAR(go.reliability(te, u), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(go.reliability(te, 0.0), 1.0);
+  EXPECT_THROW(go.reliability(te, -1.0), std::invalid_argument);
+}
+
+TEST(Reliability, DecreasingInHorizonWidth) {
+  const auto go = n::goel_okumoto(44.0, 1.26e-5);
+  double prev = 1.0;
+  for (double u : {100.0, 1000.0, 10000.0, 100000.0}) {
+    const double r = go.reliability(160000.0, u);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(GammaFailureLaw, CdfPdfConsistency) {
+  const n::GammaFailureLaw law{2.0};
+  const double beta = 0.5;
+  // Numeric derivative of the CDF equals the pdf.
+  for (double t : {0.5, 2.0, 6.0}) {
+    const double h = 1e-6;
+    const double num = (law.cdf(t + h, beta) - law.cdf(t - h, beta)) / (2 * h);
+    EXPECT_NEAR(num, law.pdf(t, beta), 1e-6) << "t=" << t;
+  }
+}
+
+TEST(GammaFailureLaw, SurvivalComplementsAndLogForm) {
+  const n::GammaFailureLaw law{1.0};
+  EXPECT_NEAR(law.cdf(3.0, 1.0) + law.survival(3.0, 1.0), 1.0, 1e-14);
+  EXPECT_NEAR(law.log_survival(3.0, 1.0), -3.0, 1e-12);  // exponential
+  EXPECT_DOUBLE_EQ(law.survival(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(law.cdf(-1.0, 1.0), 0.0);
+}
+
+TEST(GammaFailureLaw, IntervalMassPartitions) {
+  const n::GammaFailureLaw law{3.0};
+  const double beta = 0.8;
+  const double total = law.interval_mass(0.0, 2.0, beta) +
+                       law.interval_mass(2.0, 7.0, beta) +
+                       law.interval_mass(7.0, kInf, beta);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_THROW(law.interval_mass(3.0, 3.0, beta), std::invalid_argument);
+  EXPECT_THROW(law.interval_mass(-1.0, 3.0, beta), std::invalid_argument);
+}
+
+TEST(GammaFailureLaw, LogIntervalMassDeepTail) {
+  // Interval far in the exponential tail: direct mass underflows but the
+  // log form must survive.  For shape 1: log(e^{-a} - e^{-b}).
+  const n::GammaFailureLaw law{1.0};
+  const double lm = law.log_interval_mass(800.0, 810.0, 1.0);
+  const double expect = -800.0 + std::log1p(-std::exp(-10.0));
+  EXPECT_NEAR(lm, expect, 1e-9);
+}
+
+TEST(GammaFailureLaw, TruncatedMeanExponentialMemoryless) {
+  const n::GammaFailureLaw law{1.0};
+  // E[T | T > a] = a + 1/beta for the exponential.
+  EXPECT_NEAR(law.truncated_mean(5.0, kInf, 2.0), 5.0 + 0.5, 1e-10);
+  EXPECT_NEAR(law.truncated_mean(0.0, kInf, 2.0), 0.5, 1e-12);
+}
+
+TEST(GammaFailureLaw, TruncatedMeanInsideInterval) {
+  const n::GammaFailureLaw law{2.0};
+  const double m = law.truncated_mean(1.0, 3.0, 1.0);
+  EXPECT_GT(m, 1.0);
+  EXPECT_LT(m, 3.0);
+}
+
+TEST(GammaFailureLaw, TruncatedMeanDeepTailStable) {
+  // Conditioning region with ~e^{-200} mass: conditional mean must stay
+  // finite and just beyond the cut (hazard ~ beta for the exponential).
+  const n::GammaFailureLaw law{1.0};
+  const double m = law.truncated_mean(200.0, kInf, 1.0);
+  EXPECT_NEAR(m, 201.0, 1e-6);
+}
+
+TEST(ModelName, DescriptiveStrings) {
+  EXPECT_NE(n::goel_okumoto(1.0, 1.0).name().find("Goel-Okumoto"),
+            std::string::npos);
+  EXPECT_NE(n::delayed_s_shaped(1.0, 1.0).name().find("S-shaped"),
+            std::string::npos);
+  EXPECT_NE(n::GammaTypeModel(3.5, 1.0, 1.0).name().find("alpha0=3.5"),
+            std::string::npos);
+}
+
+// Property: for every alpha0, the truncated mean over a partition
+// reassembles the unconditional mean alpha0/beta.
+class TruncatedMeanSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TruncatedMeanSweep, PartitionReassemblesMean) {
+  const double alpha0 = GetParam();
+  const n::GammaFailureLaw law{alpha0};
+  const double beta = 0.7;
+  const double cuts[] = {0.0, 1.0, 3.0, 8.0, kInf};
+  double mean = 0.0;
+  for (int i = 0; i + 1 < 5; ++i) {
+    const double mass = law.interval_mass(cuts[i], cuts[i + 1], beta);
+    mean += mass * law.truncated_mean(cuts[i], cuts[i + 1], beta);
+  }
+  EXPECT_NEAR(mean, alpha0 / beta, 1e-9) << "alpha0=" << alpha0;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, TruncatedMeanSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.7, 10.0));
+
+}  // namespace

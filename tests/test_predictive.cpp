@@ -1,0 +1,135 @@
+// Posterior-predictive distributions: internal consistency (pmf sums
+// to 1, P(K=0) equals the reliability point estimate), agreement with
+// Monte Carlo, and the residual-fault distribution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/predictive.hpp"
+#include "core/vb2.hpp"
+#include "data/datasets.hpp"
+#include "nhpp/model.hpp"
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+
+namespace c = vbsrm::core;
+namespace b = vbsrm::bayes;
+namespace d = vbsrm::data;
+
+namespace {
+
+const c::Vb2Estimator& fitted_vb2() {
+  static const c::Vb2Estimator vb2(
+      1.0, d::datasets::system17_failure_times(),
+      b::PriorPair{b::GammaPrior::from_mean_sd(50.0, 15.8),
+                   b::GammaPrior::from_mean_sd(1e-5, 3.2e-6)});
+  return vb2;
+}
+
+TEST(Predictive, PmfIsADistribution) {
+  const c::PredictiveDistribution pred(fitted_vb2().posterior(), 10000.0);
+  double total = 0.0;
+  for (std::uint64_t k = 0; k <= 60; ++k) {
+    const double p = pred.pmf(k);
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  EXPECT_NEAR(pred.cdf(60), 1.0, 1e-6);
+}
+
+TEST(Predictive, ProbZeroEqualsReliabilityPoint) {
+  const double u = 1000.0;
+  const c::PredictiveDistribution pred(fitted_vb2().posterior(), u);
+  EXPECT_NEAR(pred.prob_zero(),
+              fitted_vb2().posterior().reliability_point(u), 1e-8);
+}
+
+TEST(Predictive, MeanMatchesPmfSum) {
+  const c::PredictiveDistribution pred(fitted_vb2().posterior(), 10000.0);
+  double mean_from_pmf = 0.0;
+  for (std::uint64_t k = 1; k <= 80; ++k) {
+    mean_from_pmf += static_cast<double>(k) * pred.pmf(k);
+  }
+  EXPECT_NEAR(pred.mean(), mean_from_pmf, 1e-5);
+}
+
+TEST(Predictive, VarianceExceedsPoissonMean) {
+  // Posterior mixing always adds dispersion: Var(K) > E[K].
+  const c::PredictiveDistribution pred(fitted_vb2().posterior(), 10000.0);
+  EXPECT_GT(pred.variance(), pred.mean());
+}
+
+TEST(Predictive, MatchesMonteCarlo) {
+  const double u = 10000.0;
+  const auto& post = fitted_vb2().posterior();
+  const c::PredictiveDistribution pred(post, u);
+  vbsrm::random::Rng rng(314);
+  const vbsrm::nhpp::GammaFailureLaw law{1.0};
+  const double te = post.horizon();
+  std::vector<double> counts;
+  for (int i = 0; i < 200000; ++i) {
+    const auto [omega, beta] = post.sample(rng);
+    const double h = law.interval_mass(te, te + u, beta);
+    counts.push_back(static_cast<double>(
+        vbsrm::random::sample_poisson(rng, omega * h)));
+  }
+  double mc_mean = 0.0;
+  for (double v : counts) mc_mean += v;
+  mc_mean /= static_cast<double>(counts.size());
+  EXPECT_NEAR(pred.mean(), mc_mean, 0.03);
+  // pmf at a few points.
+  for (std::uint64_t k : {0ull, 1ull, 3ull, 6ull}) {
+    double mc_p = 0.0;
+    for (double v : counts) mc_p += (v == static_cast<double>(k));
+    mc_p /= static_cast<double>(counts.size());
+    EXPECT_NEAR(pred.pmf(k), mc_p, 5e-3) << "k=" << k;
+  }
+}
+
+TEST(Predictive, QuantileIsGeneralizedInverse) {
+  const c::PredictiveDistribution pred(fitted_vb2().posterior(), 10000.0);
+  for (double p : {0.05, 0.5, 0.95}) {
+    const auto q = pred.quantile(p);
+    EXPECT_GE(pred.cdf(q), p);
+    if (q > 0) EXPECT_LT(pred.cdf(q - 1), p);
+  }
+}
+
+TEST(Predictive, IntervalCoversMassAndIsOrdered) {
+  const c::PredictiveDistribution pred(fitted_vb2().posterior(), 10000.0);
+  const auto [lo, hi] = pred.interval(0.95);
+  EXPECT_LE(lo, hi);
+  const double mass = pred.cdf(hi) - (lo > 0 ? pred.cdf(lo - 1) : 0.0);
+  EXPECT_GE(mass, 0.95 - 1e-9);
+}
+
+TEST(Predictive, RejectsBadWindow) {
+  EXPECT_THROW(c::PredictiveDistribution(fitted_vb2().posterior(), 0.0),
+               std::invalid_argument);
+  const c::PredictiveDistribution pred(fitted_vb2().posterior(), 1.0);
+  EXPECT_THROW(pred.quantile(0.0), std::invalid_argument);
+}
+
+TEST(ResidualFaults, PmfMatchesMixtureWeights) {
+  const auto& post = fitted_vb2().posterior();
+  const auto res = c::ResidualFaultDistribution::from_posterior(post);
+  EXPECT_EQ(res.observed, 38u);
+  double total = 0.0;
+  for (double p : res.pmf) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(res.mean(), post.mean_total_faults() - 38.0, 1e-9);
+  EXPECT_NEAR(res.pmf[2], post.prob_total_faults(40), 1e-15);
+}
+
+TEST(ResidualFaults, QuantileAndTailProbabilities) {
+  const auto res = c::ResidualFaultDistribution::from_posterior(
+      fitted_vb2().posterior());
+  const auto median = res.quantile(0.5);
+  EXPECT_GE(res.prob_at_most(median), 0.5);
+  EXPECT_GT(res.prob_at_most(100), 0.999);
+  EXPECT_LE(res.prob_at_most(0), res.prob_at_most(1));
+  EXPECT_THROW(res.quantile(1.0), std::invalid_argument);
+}
+
+}  // namespace

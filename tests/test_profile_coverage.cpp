@@ -1,0 +1,134 @@
+// Profile-posterior intervals and the Monte-Carlo coverage harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/laplace.hpp"
+#include "math/specfun.hpp"
+#include "bayes/nint.hpp"
+#include "bayes/profile.hpp"
+#include "core/coverage.hpp"
+#include "core/vb2.hpp"
+#include "data/datasets.hpp"
+
+namespace b = vbsrm::bayes;
+namespace c = vbsrm::core;
+namespace d = vbsrm::data;
+
+namespace {
+
+b::PriorPair info_dt() {
+  return {b::GammaPrior::from_mean_sd(50.0, 15.8),
+          b::GammaPrior::from_mean_sd(1e-5, 3.2e-6)};
+}
+
+TEST(Profile, ModeMatchesLaplaceMap) {
+  const auto dt = d::datasets::system17_failure_times();
+  b::LogPosterior post(1.0, dt, info_dt());
+  const b::ProfileIntervalEstimator prof(post);
+  const b::LaplaceEstimator lap(post);
+  EXPECT_NEAR(prof.mode_omega(), lap.map_omega(), 1e-3 * lap.map_omega());
+  EXPECT_NEAR(prof.mode_beta(), lap.map_beta(), 1e-3 * lap.map_beta());
+}
+
+TEST(Profile, ProfileIsZeroAtModeAndNegativeElsewhere) {
+  const auto dt = d::datasets::system17_failure_times();
+  b::LogPosterior post(1.0, dt, info_dt());
+  const b::ProfileIntervalEstimator prof(post);
+  EXPECT_NEAR(prof.profile_omega(prof.mode_omega()), 0.0, 1e-6);
+  EXPECT_LT(prof.profile_omega(0.7 * prof.mode_omega()), -0.05);
+  EXPECT_LT(prof.profile_omega(1.4 * prof.mode_omega()), -0.05);
+  EXPECT_NEAR(prof.profile_beta(prof.mode_beta()), 0.0, 1e-6);
+  EXPECT_LT(prof.profile_beta(0.6 * prof.mode_beta()), -0.05);
+}
+
+TEST(Profile, EndpointsSitOnTheThreshold) {
+  const auto dt = d::datasets::system17_failure_times();
+  b::LogPosterior post(1.0, dt, info_dt());
+  const b::ProfileIntervalEstimator prof(post);
+  const double level = 0.95;
+  const auto io = prof.interval_omega(level);
+  const double z = vbsrm::math::normal_quantile(0.5 + 0.5 * level);
+  EXPECT_NEAR(prof.profile_omega(io.lower), -0.5 * z * z, 1e-5);
+  EXPECT_NEAR(prof.profile_omega(io.upper), -0.5 * z * z, 1e-5);
+  EXPECT_LT(io.lower, prof.mode_omega());
+  EXPECT_GT(io.upper, prof.mode_omega());
+}
+
+TEST(Profile, CapturesSkewUnlikeLaplace) {
+  // The posterior of omega is right-skewed: the profile interval's
+  // upper arm must be longer than its lower arm, and both endpoints
+  // should sit closer to NINT's than LAPL's do.
+  const auto dt = d::datasets::system17_failure_times();
+  b::LogPosterior post(1.0, dt, info_dt());
+  const b::ProfileIntervalEstimator prof(post);
+  const b::LaplaceEstimator lap(post);
+  const c::Vb2Estimator vb2(1.0, dt, info_dt());
+  const b::NintEstimator nint(
+      post, b::Box::from_quantiles(vb2.posterior().quantile_omega(0.005),
+                                   vb2.posterior().quantile_omega(0.995),
+                                   vb2.posterior().quantile_beta(0.005),
+                                   vb2.posterior().quantile_beta(0.995)));
+
+  const double level = 0.99;
+  const auto ip = prof.interval_omega(level);
+  const auto il = lap.interval_omega(level);
+  const auto in = nint.interval_omega(level);
+
+  // Asymmetry around the mode.
+  EXPECT_GT(ip.upper - prof.mode_omega(), prof.mode_omega() - ip.lower);
+  // Strictly better than LAPL on both endpoints w.r.t. NINT.
+  EXPECT_LT(std::abs(ip.upper - in.upper), std::abs(il.upper - in.upper));
+  EXPECT_LT(std::abs(ip.lower - in.lower), std::abs(il.lower - in.lower));
+}
+
+TEST(Profile, ValidatesLevel) {
+  const auto dt = d::datasets::system17_failure_times();
+  b::LogPosterior post(1.0, dt, info_dt());
+  const b::ProfileIntervalEstimator prof(post);
+  EXPECT_THROW(prof.interval_omega(0.0), std::invalid_argument);
+  EXPECT_THROW(prof.interval_beta(1.0), std::invalid_argument);
+}
+
+TEST(Coverage, StudyRunsAndRanksMethodsSanely) {
+  c::CoverageConfig cfg;
+  cfg.alpha0 = 1.0;
+  cfg.omega = 90.0;
+  cfg.beta = 1.25e-3;
+  cfg.horizon = 1600.0;
+  cfg.level = 0.9;
+  cfg.replications = 60;  // small but decisive for the ordering checks
+  cfg.seed = 99;
+  cfg.priors = {b::GammaPrior::from_mean_sd(90.0, 45.0),
+                b::GammaPrior::from_mean_sd(1.25e-3, 6e-4)};
+  const auto results = c::run_coverage_study(cfg);
+  ASSERT_EQ(results.size(), 4u);
+
+  const auto& vb2 = results[0];
+  const auto& vb1 = results[1];
+  ASSERT_EQ(vb2.method, "VB2");
+  ASSERT_EQ(vb1.method, "VB1");
+  EXPECT_EQ(vb2.trials, 60);
+
+  // VB2 coverage within 4 binomial sd of nominal.
+  const double se = c::coverage_standard_error(cfg.level, vb2.trials);
+  EXPECT_NEAR(vb2.rate_omega(), cfg.level, 4.0 * se);
+  EXPECT_NEAR(vb2.rate_beta(), cfg.level, 4.0 * se);
+
+  // VB1's intervals are narrower and cover no better.
+  EXPECT_LT(vb1.mean_width_omega, vb2.mean_width_omega);
+  EXPECT_LE(vb1.covered_omega, vb2.covered_omega + 3);
+}
+
+TEST(Coverage, StandardErrorFormula) {
+  EXPECT_NEAR(c::coverage_standard_error(0.5, 100), 0.05, 1e-12);
+  EXPECT_EQ(c::coverage_standard_error(0.9, 0), 1.0);
+}
+
+TEST(Coverage, RejectsBadConfig) {
+  c::CoverageConfig cfg;
+  cfg.replications = 0;
+  EXPECT_THROW(c::run_coverage_study(cfg), std::invalid_argument);
+}
+
+}  // namespace

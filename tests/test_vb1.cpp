@@ -1,0 +1,117 @@
+// VB1 — the fully factorized baseline.  Its defining properties (the
+// paper's critique): zero omega-beta covariance by construction, and
+// variance underestimation relative to VB2/MCMC.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/vb1.hpp"
+#include "core/vb2.hpp"
+#include "data/datasets.hpp"
+
+namespace c = vbsrm::core;
+namespace b = vbsrm::bayes;
+namespace d = vbsrm::data;
+
+namespace {
+
+b::PriorPair info_priors_dt() {
+  return {b::GammaPrior::from_mean_sd(50.0, 15.8),
+          b::GammaPrior::from_mean_sd(1e-5, 3.2e-6)};
+}
+
+b::PriorPair info_priors_dg() {
+  return {b::GammaPrior::from_mean_sd(50.0, 15.8),
+          b::GammaPrior::from_mean_sd(3.3e-2, 1.1e-2)};
+}
+
+TEST(Vb1, ConvergesOnBothDataSchemes) {
+  const auto dt = d::datasets::system17_failure_times();
+  const c::Vb1Estimator vt(1.0, dt, info_priors_dt());
+  EXPECT_TRUE(vt.diagnostics().converged);
+  const auto dg = d::datasets::system17_grouped();
+  const c::Vb1Estimator vg(1.0, dg, info_priors_dg());
+  EXPECT_TRUE(vg.diagnostics().converged);
+}
+
+TEST(Vb1, CovarianceIsExactlyZeroByConstruction) {
+  const auto dt = d::datasets::system17_failure_times();
+  const c::Vb1Estimator vb(1.0, dt, info_priors_dt());
+  EXPECT_DOUBLE_EQ(vb.posterior().summary().cov, 0.0);
+  EXPECT_EQ(vb.posterior().components().size(), 1u);
+}
+
+TEST(Vb1, UnderestimatesVarianceRelativeToVb2) {
+  // Table 1's headline: VB1's Var(omega) and Var(beta) are well below
+  // VB2's on both data sets.
+  const auto dt = d::datasets::system17_failure_times();
+  const c::Vb1Estimator v1(1.0, dt, info_priors_dt());
+  const c::Vb2Estimator v2(1.0, dt, info_priors_dt());
+  EXPECT_LT(v1.posterior().summary().var_omega,
+            0.8 * v2.posterior().summary().var_omega);
+  EXPECT_LT(v1.posterior().summary().var_beta,
+            0.8 * v2.posterior().summary().var_beta);
+
+  const auto dg = d::datasets::system17_grouped();
+  const c::Vb1Estimator g1(1.0, dg, info_priors_dg());
+  const c::Vb2Estimator g2(1.0, dg, info_priors_dg());
+  EXPECT_LT(g1.posterior().summary().var_omega,
+            0.75 * g2.posterior().summary().var_omega);
+}
+
+TEST(Vb1, MeansStayCloseToVb2) {
+  // Despite the variance defect, first moments are in the right region
+  // (the paper reports low-single-digit percent deviations).
+  const auto dt = d::datasets::system17_failure_times();
+  const c::Vb1Estimator v1(1.0, dt, info_priors_dt());
+  const c::Vb2Estimator v2(1.0, dt, info_priors_dt());
+  const auto s1 = v1.posterior().summary();
+  const auto s2 = v2.posterior().summary();
+  EXPECT_NEAR(s1.mean_omega, s2.mean_omega, 0.06 * s2.mean_omega);
+  EXPECT_NEAR(s1.mean_beta, s2.mean_beta, 0.06 * s2.mean_beta);
+}
+
+TEST(Vb1, IntervalsNarrowerThanVb2) {
+  const auto dt = d::datasets::system17_failure_times();
+  const c::Vb1Estimator v1(1.0, dt, info_priors_dt());
+  const c::Vb2Estimator v2(1.0, dt, info_priors_dt());
+  const auto i1 = v1.posterior().interval_omega(0.99);
+  const auto i2 = v2.posterior().interval_omega(0.99);
+  EXPECT_LT(i1.upper - i1.lower, i2.upper - i2.lower);
+}
+
+TEST(Vb1, ReliabilityIntervalTooNarrow) {
+  // Tables 4-5: VB1's reliability intervals are systematically narrower.
+  const auto dt = d::datasets::system17_failure_times();
+  const c::Vb1Estimator v1(1.0, dt, info_priors_dt());
+  const c::Vb2Estimator v2(1.0, dt, info_priors_dt());
+  const auto r1 = v1.posterior().reliability(10000.0, 0.99);
+  const auto r2 = v2.posterior().reliability(10000.0, 0.99);
+  EXPECT_LT(r1.upper - r1.lower, r2.upper - r2.lower);
+  EXPECT_NEAR(r1.point, r2.point, 0.05);
+}
+
+TEST(Vb1, ConjugateOracleWithoutCensoring) {
+  // Same oracle as VB2: with no unobserved mass VB1 is exact too.
+  d::FailureTimeData ft({0.5, 1.2, 1.9, 2.6, 3.1, 4.0, 5.2, 6.0}, 400.0);
+  const b::PriorPair priors{b::GammaPrior{2.0, 0.1}, b::GammaPrior{3.0, 2.0}};
+  const c::Vb1Estimator vb(1.0, ft, priors);
+  const auto s = vb.posterior().summary();
+  EXPECT_NEAR(s.mean_omega, 10.0 / 1.1, 1e-3);
+  EXPECT_NEAR(s.mean_beta, 11.0 / (2.0 + ft.total_time()), 1e-7);
+  EXPECT_NEAR(vb.diagnostics().expected_total_faults, 8.0, 1e-3);
+}
+
+TEST(Vb1, ExpectedTotalFaultsExceedsObserved) {
+  const auto dt = d::datasets::system17_failure_times();
+  const c::Vb1Estimator vb(1.0, dt, info_priors_dt());
+  EXPECT_GT(vb.diagnostics().expected_total_faults, 38.0);
+}
+
+TEST(Vb1, RejectsBadAlpha) {
+  const auto dt = d::datasets::system17_failure_times();
+  EXPECT_THROW(c::Vb1Estimator(-1.0, dt, b::PriorPair::flat()),
+               std::invalid_argument);
+}
+
+}  // namespace
