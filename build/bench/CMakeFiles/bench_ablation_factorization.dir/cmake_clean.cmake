@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_factorization.dir/bench_ablation_factorization.cpp.o"
+  "CMakeFiles/bench_ablation_factorization.dir/bench_ablation_factorization.cpp.o.d"
+  "bench_ablation_factorization"
+  "bench_ablation_factorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_factorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nmax.dir/bench_ablation_nmax.cpp.o"
+  "CMakeFiles/bench_ablation_nmax.dir/bench_ablation_nmax.cpp.o.d"
+  "bench_ablation_nmax"
+  "bench_ablation_nmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

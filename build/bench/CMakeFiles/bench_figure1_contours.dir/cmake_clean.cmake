@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1_contours.dir/bench_figure1_contours.cpp.o"
+  "CMakeFiles/bench_figure1_contours.dir/bench_figure1_contours.cpp.o.d"
+  "bench_figure1_contours"
+  "bench_figure1_contours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_contours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_moments.dir/bench_table1_moments.cpp.o"
+  "CMakeFiles/bench_table1_moments.dir/bench_table1_moments.cpp.o.d"
+  "bench_table1_moments"
+  "bench_table1_moments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

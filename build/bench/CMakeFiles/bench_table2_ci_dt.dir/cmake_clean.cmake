@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ci_dt.dir/bench_table2_ci_dt.cpp.o"
+  "CMakeFiles/bench_table2_ci_dt.dir/bench_table2_ci_dt.cpp.o.d"
+  "bench_table2_ci_dt"
+  "bench_table2_ci_dt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ci_dt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_reliability_dg.dir/bench_table5_reliability_dg.cpp.o"
+  "CMakeFiles/bench_table5_reliability_dg.dir/bench_table5_reliability_dg.cpp.o.d"
+  "bench_table5_reliability_dg"
+  "bench_table5_reliability_dg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_reliability_dg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

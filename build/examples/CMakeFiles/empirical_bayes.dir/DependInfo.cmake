@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/empirical_bayes.cpp" "examples/CMakeFiles/empirical_bayes.dir/empirical_bayes.cpp.o" "gcc" "examples/CMakeFiles/empirical_bayes.dir/empirical_bayes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vbsrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayes/CMakeFiles/vbsrm_bayes.dir/DependInfo.cmake"
+  "/root/repo/build/src/nhpp/CMakeFiles/vbsrm_nhpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vbsrm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vbsrm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/vbsrm_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/vbsrm_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/empirical_bayes.dir/empirical_bayes.cpp.o"
+  "CMakeFiles/empirical_bayes.dir/empirical_bayes.cpp.o.d"
+  "empirical_bayes"
+  "empirical_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/empirical_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

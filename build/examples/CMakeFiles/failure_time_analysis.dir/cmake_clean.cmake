@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_time_analysis.dir/failure_time_analysis.cpp.o"
+  "CMakeFiles/failure_time_analysis.dir/failure_time_analysis.cpp.o.d"
+  "failure_time_analysis"
+  "failure_time_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_time_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

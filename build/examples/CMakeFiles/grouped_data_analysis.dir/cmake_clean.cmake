@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouped_data_analysis.dir/grouped_data_analysis.cpp.o"
+  "CMakeFiles/grouped_data_analysis.dir/grouped_data_analysis.cpp.o.d"
+  "grouped_data_analysis"
+  "grouped_data_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouped_data_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

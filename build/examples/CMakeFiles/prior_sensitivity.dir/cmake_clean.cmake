@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prior_sensitivity.dir/prior_sensitivity.cpp.o"
+  "CMakeFiles/prior_sensitivity.dir/prior_sensitivity.cpp.o.d"
+  "prior_sensitivity"
+  "prior_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prior_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

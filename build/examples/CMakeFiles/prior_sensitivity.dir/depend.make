@@ -1,0 +1,2 @@
+# Empty dependencies file for prior_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_generator.dir/report_generator.cpp.o"
+  "CMakeFiles/report_generator.dir/report_generator.cpp.o.d"
+  "report_generator"
+  "report_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbsrm_cli.dir/vbsrm_cli.cpp.o"
+  "CMakeFiles/vbsrm_cli.dir/vbsrm_cli.cpp.o.d"
+  "vbsrm_cli"
+  "vbsrm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbsrm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bayes/chain.cpp" "src/bayes/CMakeFiles/vbsrm_bayes.dir/chain.cpp.o" "gcc" "src/bayes/CMakeFiles/vbsrm_bayes.dir/chain.cpp.o.d"
+  "/root/repo/src/bayes/empirical.cpp" "src/bayes/CMakeFiles/vbsrm_bayes.dir/empirical.cpp.o" "gcc" "src/bayes/CMakeFiles/vbsrm_bayes.dir/empirical.cpp.o.d"
+  "/root/repo/src/bayes/gibbs.cpp" "src/bayes/CMakeFiles/vbsrm_bayes.dir/gibbs.cpp.o" "gcc" "src/bayes/CMakeFiles/vbsrm_bayes.dir/gibbs.cpp.o.d"
+  "/root/repo/src/bayes/laplace.cpp" "src/bayes/CMakeFiles/vbsrm_bayes.dir/laplace.cpp.o" "gcc" "src/bayes/CMakeFiles/vbsrm_bayes.dir/laplace.cpp.o.d"
+  "/root/repo/src/bayes/metropolis.cpp" "src/bayes/CMakeFiles/vbsrm_bayes.dir/metropolis.cpp.o" "gcc" "src/bayes/CMakeFiles/vbsrm_bayes.dir/metropolis.cpp.o.d"
+  "/root/repo/src/bayes/multichain.cpp" "src/bayes/CMakeFiles/vbsrm_bayes.dir/multichain.cpp.o" "gcc" "src/bayes/CMakeFiles/vbsrm_bayes.dir/multichain.cpp.o.d"
+  "/root/repo/src/bayes/nint.cpp" "src/bayes/CMakeFiles/vbsrm_bayes.dir/nint.cpp.o" "gcc" "src/bayes/CMakeFiles/vbsrm_bayes.dir/nint.cpp.o.d"
+  "/root/repo/src/bayes/posterior.cpp" "src/bayes/CMakeFiles/vbsrm_bayes.dir/posterior.cpp.o" "gcc" "src/bayes/CMakeFiles/vbsrm_bayes.dir/posterior.cpp.o.d"
+  "/root/repo/src/bayes/prior.cpp" "src/bayes/CMakeFiles/vbsrm_bayes.dir/prior.cpp.o" "gcc" "src/bayes/CMakeFiles/vbsrm_bayes.dir/prior.cpp.o.d"
+  "/root/repo/src/bayes/profile.cpp" "src/bayes/CMakeFiles/vbsrm_bayes.dir/profile.cpp.o" "gcc" "src/bayes/CMakeFiles/vbsrm_bayes.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/vbsrm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/vbsrm_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vbsrm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vbsrm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nhpp/CMakeFiles/vbsrm_nhpp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbsrm_bayes.dir/chain.cpp.o"
+  "CMakeFiles/vbsrm_bayes.dir/chain.cpp.o.d"
+  "CMakeFiles/vbsrm_bayes.dir/empirical.cpp.o"
+  "CMakeFiles/vbsrm_bayes.dir/empirical.cpp.o.d"
+  "CMakeFiles/vbsrm_bayes.dir/gibbs.cpp.o"
+  "CMakeFiles/vbsrm_bayes.dir/gibbs.cpp.o.d"
+  "CMakeFiles/vbsrm_bayes.dir/laplace.cpp.o"
+  "CMakeFiles/vbsrm_bayes.dir/laplace.cpp.o.d"
+  "CMakeFiles/vbsrm_bayes.dir/metropolis.cpp.o"
+  "CMakeFiles/vbsrm_bayes.dir/metropolis.cpp.o.d"
+  "CMakeFiles/vbsrm_bayes.dir/multichain.cpp.o"
+  "CMakeFiles/vbsrm_bayes.dir/multichain.cpp.o.d"
+  "CMakeFiles/vbsrm_bayes.dir/nint.cpp.o"
+  "CMakeFiles/vbsrm_bayes.dir/nint.cpp.o.d"
+  "CMakeFiles/vbsrm_bayes.dir/posterior.cpp.o"
+  "CMakeFiles/vbsrm_bayes.dir/posterior.cpp.o.d"
+  "CMakeFiles/vbsrm_bayes.dir/prior.cpp.o"
+  "CMakeFiles/vbsrm_bayes.dir/prior.cpp.o.d"
+  "CMakeFiles/vbsrm_bayes.dir/profile.cpp.o"
+  "CMakeFiles/vbsrm_bayes.dir/profile.cpp.o.d"
+  "libvbsrm_bayes.a"
+  "libvbsrm_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbsrm_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

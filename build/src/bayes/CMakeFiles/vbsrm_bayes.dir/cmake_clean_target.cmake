@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvbsrm_bayes.a"
+)

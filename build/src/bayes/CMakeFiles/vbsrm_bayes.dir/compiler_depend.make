@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vbsrm_bayes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coverage.cpp" "src/core/CMakeFiles/vbsrm_core.dir/coverage.cpp.o" "gcc" "src/core/CMakeFiles/vbsrm_core.dir/coverage.cpp.o.d"
+  "/root/repo/src/core/gamma_mixture.cpp" "src/core/CMakeFiles/vbsrm_core.dir/gamma_mixture.cpp.o" "gcc" "src/core/CMakeFiles/vbsrm_core.dir/gamma_mixture.cpp.o.d"
+  "/root/repo/src/core/predictive.cpp" "src/core/CMakeFiles/vbsrm_core.dir/predictive.cpp.o" "gcc" "src/core/CMakeFiles/vbsrm_core.dir/predictive.cpp.o.d"
+  "/root/repo/src/core/vb1.cpp" "src/core/CMakeFiles/vbsrm_core.dir/vb1.cpp.o" "gcc" "src/core/CMakeFiles/vbsrm_core.dir/vb1.cpp.o.d"
+  "/root/repo/src/core/vb2.cpp" "src/core/CMakeFiles/vbsrm_core.dir/vb2.cpp.o" "gcc" "src/core/CMakeFiles/vbsrm_core.dir/vb2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/vbsrm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/vbsrm_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vbsrm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nhpp/CMakeFiles/vbsrm_nhpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayes/CMakeFiles/vbsrm_bayes.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vbsrm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

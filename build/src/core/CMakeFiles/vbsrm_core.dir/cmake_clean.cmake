@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbsrm_core.dir/coverage.cpp.o"
+  "CMakeFiles/vbsrm_core.dir/coverage.cpp.o.d"
+  "CMakeFiles/vbsrm_core.dir/gamma_mixture.cpp.o"
+  "CMakeFiles/vbsrm_core.dir/gamma_mixture.cpp.o.d"
+  "CMakeFiles/vbsrm_core.dir/predictive.cpp.o"
+  "CMakeFiles/vbsrm_core.dir/predictive.cpp.o.d"
+  "CMakeFiles/vbsrm_core.dir/vb1.cpp.o"
+  "CMakeFiles/vbsrm_core.dir/vb1.cpp.o.d"
+  "CMakeFiles/vbsrm_core.dir/vb2.cpp.o"
+  "CMakeFiles/vbsrm_core.dir/vb2.cpp.o.d"
+  "libvbsrm_core.a"
+  "libvbsrm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbsrm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/datasets.cpp" "src/data/CMakeFiles/vbsrm_data.dir/datasets.cpp.o" "gcc" "src/data/CMakeFiles/vbsrm_data.dir/datasets.cpp.o.d"
+  "/root/repo/src/data/failure_data.cpp" "src/data/CMakeFiles/vbsrm_data.dir/failure_data.cpp.o" "gcc" "src/data/CMakeFiles/vbsrm_data.dir/failure_data.cpp.o.d"
+  "/root/repo/src/data/simulate.cpp" "src/data/CMakeFiles/vbsrm_data.dir/simulate.cpp.o" "gcc" "src/data/CMakeFiles/vbsrm_data.dir/simulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/vbsrm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/vbsrm_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

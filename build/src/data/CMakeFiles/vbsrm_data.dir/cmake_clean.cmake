@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbsrm_data.dir/datasets.cpp.o"
+  "CMakeFiles/vbsrm_data.dir/datasets.cpp.o.d"
+  "CMakeFiles/vbsrm_data.dir/failure_data.cpp.o"
+  "CMakeFiles/vbsrm_data.dir/failure_data.cpp.o.d"
+  "CMakeFiles/vbsrm_data.dir/simulate.cpp.o"
+  "CMakeFiles/vbsrm_data.dir/simulate.cpp.o.d"
+  "libvbsrm_data.a"
+  "libvbsrm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbsrm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

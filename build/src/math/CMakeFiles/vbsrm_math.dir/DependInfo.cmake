@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/linalg.cpp" "src/math/CMakeFiles/vbsrm_math.dir/linalg.cpp.o" "gcc" "src/math/CMakeFiles/vbsrm_math.dir/linalg.cpp.o.d"
+  "/root/repo/src/math/optimize.cpp" "src/math/CMakeFiles/vbsrm_math.dir/optimize.cpp.o" "gcc" "src/math/CMakeFiles/vbsrm_math.dir/optimize.cpp.o.d"
+  "/root/repo/src/math/quadrature.cpp" "src/math/CMakeFiles/vbsrm_math.dir/quadrature.cpp.o" "gcc" "src/math/CMakeFiles/vbsrm_math.dir/quadrature.cpp.o.d"
+  "/root/repo/src/math/roots.cpp" "src/math/CMakeFiles/vbsrm_math.dir/roots.cpp.o" "gcc" "src/math/CMakeFiles/vbsrm_math.dir/roots.cpp.o.d"
+  "/root/repo/src/math/specfun.cpp" "src/math/CMakeFiles/vbsrm_math.dir/specfun.cpp.o" "gcc" "src/math/CMakeFiles/vbsrm_math.dir/specfun.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbsrm_math.dir/linalg.cpp.o"
+  "CMakeFiles/vbsrm_math.dir/linalg.cpp.o.d"
+  "CMakeFiles/vbsrm_math.dir/optimize.cpp.o"
+  "CMakeFiles/vbsrm_math.dir/optimize.cpp.o.d"
+  "CMakeFiles/vbsrm_math.dir/quadrature.cpp.o"
+  "CMakeFiles/vbsrm_math.dir/quadrature.cpp.o.d"
+  "CMakeFiles/vbsrm_math.dir/roots.cpp.o"
+  "CMakeFiles/vbsrm_math.dir/roots.cpp.o.d"
+  "CMakeFiles/vbsrm_math.dir/specfun.cpp.o"
+  "CMakeFiles/vbsrm_math.dir/specfun.cpp.o.d"
+  "libvbsrm_math.a"
+  "libvbsrm_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbsrm_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

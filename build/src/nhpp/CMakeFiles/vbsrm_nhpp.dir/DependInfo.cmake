@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nhpp/assessment.cpp" "src/nhpp/CMakeFiles/vbsrm_nhpp.dir/assessment.cpp.o" "gcc" "src/nhpp/CMakeFiles/vbsrm_nhpp.dir/assessment.cpp.o.d"
+  "/root/repo/src/nhpp/families.cpp" "src/nhpp/CMakeFiles/vbsrm_nhpp.dir/families.cpp.o" "gcc" "src/nhpp/CMakeFiles/vbsrm_nhpp.dir/families.cpp.o.d"
+  "/root/repo/src/nhpp/fit.cpp" "src/nhpp/CMakeFiles/vbsrm_nhpp.dir/fit.cpp.o" "gcc" "src/nhpp/CMakeFiles/vbsrm_nhpp.dir/fit.cpp.o.d"
+  "/root/repo/src/nhpp/infinite.cpp" "src/nhpp/CMakeFiles/vbsrm_nhpp.dir/infinite.cpp.o" "gcc" "src/nhpp/CMakeFiles/vbsrm_nhpp.dir/infinite.cpp.o.d"
+  "/root/repo/src/nhpp/likelihood.cpp" "src/nhpp/CMakeFiles/vbsrm_nhpp.dir/likelihood.cpp.o" "gcc" "src/nhpp/CMakeFiles/vbsrm_nhpp.dir/likelihood.cpp.o.d"
+  "/root/repo/src/nhpp/model.cpp" "src/nhpp/CMakeFiles/vbsrm_nhpp.dir/model.cpp.o" "gcc" "src/nhpp/CMakeFiles/vbsrm_nhpp.dir/model.cpp.o.d"
+  "/root/repo/src/nhpp/prediction.cpp" "src/nhpp/CMakeFiles/vbsrm_nhpp.dir/prediction.cpp.o" "gcc" "src/nhpp/CMakeFiles/vbsrm_nhpp.dir/prediction.cpp.o.d"
+  "/root/repo/src/nhpp/trend.cpp" "src/nhpp/CMakeFiles/vbsrm_nhpp.dir/trend.cpp.o" "gcc" "src/nhpp/CMakeFiles/vbsrm_nhpp.dir/trend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/vbsrm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vbsrm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vbsrm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/vbsrm_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

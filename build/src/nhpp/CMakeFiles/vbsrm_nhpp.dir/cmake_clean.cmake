@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbsrm_nhpp.dir/assessment.cpp.o"
+  "CMakeFiles/vbsrm_nhpp.dir/assessment.cpp.o.d"
+  "CMakeFiles/vbsrm_nhpp.dir/families.cpp.o"
+  "CMakeFiles/vbsrm_nhpp.dir/families.cpp.o.d"
+  "CMakeFiles/vbsrm_nhpp.dir/fit.cpp.o"
+  "CMakeFiles/vbsrm_nhpp.dir/fit.cpp.o.d"
+  "CMakeFiles/vbsrm_nhpp.dir/infinite.cpp.o"
+  "CMakeFiles/vbsrm_nhpp.dir/infinite.cpp.o.d"
+  "CMakeFiles/vbsrm_nhpp.dir/likelihood.cpp.o"
+  "CMakeFiles/vbsrm_nhpp.dir/likelihood.cpp.o.d"
+  "CMakeFiles/vbsrm_nhpp.dir/model.cpp.o"
+  "CMakeFiles/vbsrm_nhpp.dir/model.cpp.o.d"
+  "CMakeFiles/vbsrm_nhpp.dir/prediction.cpp.o"
+  "CMakeFiles/vbsrm_nhpp.dir/prediction.cpp.o.d"
+  "CMakeFiles/vbsrm_nhpp.dir/trend.cpp.o"
+  "CMakeFiles/vbsrm_nhpp.dir/trend.cpp.o.d"
+  "libvbsrm_nhpp.a"
+  "libvbsrm_nhpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbsrm_nhpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

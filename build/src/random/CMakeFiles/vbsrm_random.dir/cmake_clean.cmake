@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbsrm_random.dir/distributions.cpp.o"
+  "CMakeFiles/vbsrm_random.dir/distributions.cpp.o.d"
+  "CMakeFiles/vbsrm_random.dir/rng.cpp.o"
+  "CMakeFiles/vbsrm_random.dir/rng.cpp.o.d"
+  "libvbsrm_random.a"
+  "libvbsrm_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbsrm_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/vbsrm_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/vbsrm_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/diagnostics.cpp" "src/stats/CMakeFiles/vbsrm_stats.dir/diagnostics.cpp.o" "gcc" "src/stats/CMakeFiles/vbsrm_stats.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/stats/gof.cpp" "src/stats/CMakeFiles/vbsrm_stats.dir/gof.cpp.o" "gcc" "src/stats/CMakeFiles/vbsrm_stats.dir/gof.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/vbsrm_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/vbsrm_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/quantiles.cpp" "src/stats/CMakeFiles/vbsrm_stats.dir/quantiles.cpp.o" "gcc" "src/stats/CMakeFiles/vbsrm_stats.dir/quantiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/vbsrm_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

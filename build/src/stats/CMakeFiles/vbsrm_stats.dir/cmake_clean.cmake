@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbsrm_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/vbsrm_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/vbsrm_stats.dir/diagnostics.cpp.o"
+  "CMakeFiles/vbsrm_stats.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/vbsrm_stats.dir/gof.cpp.o"
+  "CMakeFiles/vbsrm_stats.dir/gof.cpp.o.d"
+  "CMakeFiles/vbsrm_stats.dir/histogram.cpp.o"
+  "CMakeFiles/vbsrm_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/vbsrm_stats.dir/quantiles.cpp.o"
+  "CMakeFiles/vbsrm_stats.dir/quantiles.cpp.o.d"
+  "libvbsrm_stats.a"
+  "libvbsrm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbsrm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

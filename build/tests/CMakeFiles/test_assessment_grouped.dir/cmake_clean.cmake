@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assessment_grouped.dir/test_assessment_grouped.cpp.o"
+  "CMakeFiles/test_assessment_grouped.dir/test_assessment_grouped.cpp.o.d"
+  "test_assessment_grouped"
+  "test_assessment_grouped.pdb"
+  "test_assessment_grouped[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assessment_grouped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

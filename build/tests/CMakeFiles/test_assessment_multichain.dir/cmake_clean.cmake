@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assessment_multichain.dir/test_assessment_multichain.cpp.o"
+  "CMakeFiles/test_assessment_multichain.dir/test_assessment_multichain.cpp.o.d"
+  "test_assessment_multichain"
+  "test_assessment_multichain.pdb"
+  "test_assessment_multichain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assessment_multichain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_assessment_multichain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bayes_posterior.dir/test_bayes_posterior.cpp.o"
+  "CMakeFiles/test_bayes_posterior.dir/test_bayes_posterior.cpp.o.d"
+  "test_bayes_posterior"
+  "test_bayes_posterior.pdb"
+  "test_bayes_posterior[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bayes_posterior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

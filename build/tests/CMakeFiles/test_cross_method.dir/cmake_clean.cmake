@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_method.dir/test_cross_method.cpp.o"
+  "CMakeFiles/test_cross_method.dir/test_cross_method.cpp.o.d"
+  "test_cross_method"
+  "test_cross_method.pdb"
+  "test_cross_method[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_empirical_infinite_serialize.dir/test_empirical_infinite_serialize.cpp.o"
+  "CMakeFiles/test_empirical_infinite_serialize.dir/test_empirical_infinite_serialize.cpp.o.d"
+  "test_empirical_infinite_serialize"
+  "test_empirical_infinite_serialize.pdb"
+  "test_empirical_infinite_serialize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_empirical_infinite_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_families.dir/test_families.cpp.o"
+  "CMakeFiles/test_families.dir/test_families.cpp.o.d"
+  "test_families"
+  "test_families.pdb"
+  "test_families[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

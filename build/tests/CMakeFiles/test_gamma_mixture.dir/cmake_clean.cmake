@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gamma_mixture.dir/test_gamma_mixture.cpp.o"
+  "CMakeFiles/test_gamma_mixture.dir/test_gamma_mixture.cpp.o.d"
+  "test_gamma_mixture"
+  "test_gamma_mixture.pdb"
+  "test_gamma_mixture[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gamma_mixture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

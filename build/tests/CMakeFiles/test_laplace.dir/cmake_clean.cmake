@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_laplace.dir/test_laplace.cpp.o"
+  "CMakeFiles/test_laplace.dir/test_laplace.cpp.o.d"
+  "test_laplace"
+  "test_laplace.pdb"
+  "test_laplace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_laplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

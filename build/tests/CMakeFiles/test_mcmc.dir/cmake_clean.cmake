@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcmc.dir/test_mcmc.cpp.o"
+  "CMakeFiles/test_mcmc.dir/test_mcmc.cpp.o.d"
+  "test_mcmc"
+  "test_mcmc.pdb"
+  "test_mcmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

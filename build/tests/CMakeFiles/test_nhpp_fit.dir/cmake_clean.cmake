@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nhpp_fit.dir/test_nhpp_fit.cpp.o"
+  "CMakeFiles/test_nhpp_fit.dir/test_nhpp_fit.cpp.o.d"
+  "test_nhpp_fit"
+  "test_nhpp_fit.pdb"
+  "test_nhpp_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nhpp_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

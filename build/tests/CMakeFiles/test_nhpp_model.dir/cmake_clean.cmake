@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nhpp_model.dir/test_nhpp_model.cpp.o"
+  "CMakeFiles/test_nhpp_model.dir/test_nhpp_model.cpp.o.d"
+  "test_nhpp_model"
+  "test_nhpp_model.pdb"
+  "test_nhpp_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nhpp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

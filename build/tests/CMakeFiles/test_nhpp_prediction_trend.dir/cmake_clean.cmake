@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nhpp_prediction_trend.dir/test_nhpp_prediction_trend.cpp.o"
+  "CMakeFiles/test_nhpp_prediction_trend.dir/test_nhpp_prediction_trend.cpp.o.d"
+  "test_nhpp_prediction_trend"
+  "test_nhpp_prediction_trend.pdb"
+  "test_nhpp_prediction_trend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nhpp_prediction_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

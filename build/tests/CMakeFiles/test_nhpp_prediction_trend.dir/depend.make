@@ -1,0 +1,2 @@
+# Empty dependencies file for test_nhpp_prediction_trend.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nint.dir/test_nint.cpp.o"
+  "CMakeFiles/test_nint.dir/test_nint.cpp.o.d"
+  "test_nint"
+  "test_nint.pdb"
+  "test_nint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

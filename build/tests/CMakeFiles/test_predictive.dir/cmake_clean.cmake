@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictive.dir/test_predictive.cpp.o"
+  "CMakeFiles/test_predictive.dir/test_predictive.cpp.o.d"
+  "test_predictive"
+  "test_predictive.pdb"
+  "test_predictive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile_coverage.dir/test_profile_coverage.cpp.o"
+  "CMakeFiles/test_profile_coverage.dir/test_profile_coverage.cpp.o.d"
+  "test_profile_coverage"
+  "test_profile_coverage.pdb"
+  "test_profile_coverage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_end2end.dir/test_property_end2end.cpp.o"
+  "CMakeFiles/test_property_end2end.dir/test_property_end2end.cpp.o.d"
+  "test_property_end2end"
+  "test_property_end2end.pdb"
+  "test_property_end2end[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_end2end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quadrature.dir/test_quadrature.cpp.o"
+  "CMakeFiles/test_quadrature.dir/test_quadrature.cpp.o.d"
+  "test_quadrature"
+  "test_quadrature.pdb"
+  "test_quadrature[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quadrature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

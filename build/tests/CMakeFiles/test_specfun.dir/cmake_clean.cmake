@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_specfun.dir/test_specfun.cpp.o"
+  "CMakeFiles/test_specfun.dir/test_specfun.cpp.o.d"
+  "test_specfun"
+  "test_specfun.pdb"
+  "test_specfun[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_specfun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vb1.dir/test_vb1.cpp.o"
+  "CMakeFiles/test_vb1.dir/test_vb1.cpp.o.d"
+  "test_vb1"
+  "test_vb1.pdb"
+  "test_vb1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vb1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

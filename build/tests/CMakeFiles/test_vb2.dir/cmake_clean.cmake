@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vb2.dir/test_vb2.cpp.o"
+  "CMakeFiles/test_vb2.dir/test_vb2.cpp.o.d"
+  "test_vb2"
+  "test_vb2.pdb"
+  "test_vb2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vb2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

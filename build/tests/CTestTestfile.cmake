@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_assessment_grouped[1]_include.cmake")
+include("/root/repo/build/tests/test_assessment_multichain[1]_include.cmake")
+include("/root/repo/build/tests/test_bayes_posterior[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_method[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_empirical_infinite_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_families[1]_include.cmake")
+include("/root/repo/build/tests/test_gamma_mixture[1]_include.cmake")
+include("/root/repo/build/tests/test_laplace[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_mcmc[1]_include.cmake")
+include("/root/repo/build/tests/test_nhpp_fit[1]_include.cmake")
+include("/root/repo/build/tests/test_nhpp_model[1]_include.cmake")
+include("/root/repo/build/tests/test_nhpp_prediction_trend[1]_include.cmake")
+include("/root/repo/build/tests/test_nint[1]_include.cmake")
+include("/root/repo/build/tests/test_predictive[1]_include.cmake")
+include("/root/repo/build/tests/test_profile_coverage[1]_include.cmake")
+include("/root/repo/build/tests/test_property_end2end[1]_include.cmake")
+include("/root/repo/build/tests/test_quadrature[1]_include.cmake")
+include("/root/repo/build/tests/test_random[1]_include.cmake")
+include("/root/repo/build/tests/test_roots_optimize[1]_include.cmake")
+include("/root/repo/build/tests/test_specfun[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_vb1[1]_include.cmake")
+include("/root/repo/build/tests/test_vb2[1]_include.cmake")
