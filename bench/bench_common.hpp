@@ -1,6 +1,7 @@
 // Shared scaffolding for the reproduction benches: the paper's prior
-// scenarios, VB2-guided NINT boxes, wall-clock timing, and fixed-width
-// table printing with paper-vs-measured rows.
+// scenarios, engine requests for them, VB2-guided NINT boxes,
+// wall-clock timing, and fixed-width table printing with
+// paper-vs-measured rows.
 #pragma once
 
 #include <chrono>
@@ -11,8 +12,32 @@
 #include "bayes/prior.hpp"
 #include "core/vb2.hpp"
 #include "data/datasets.hpp"
+#include "engine/batch.hpp"
+#include "engine/registry.hpp"
 
 namespace vbsrm::bench {
+
+/// Registry keys in the paper's presentation order (NINT is the
+/// reference and comes first), with the table row labels.
+struct MethodRow {
+  const char* key;
+  const char* label;
+};
+inline const MethodRow kPaperMethods[] = {{"nint", "NINT"},
+                                          {"laplace", "LAPL"},
+                                          {"mcmc", "MCMC"},
+                                          {"vb1", "VB1"},
+                                          {"vb2", "VB2"}};
+
+/// Engine request for a paper scenario (GO model, alpha0 = 1).
+template <typename Data>
+engine::EstimatorRequest paper_request(const Data& data,
+                                       const bayes::PriorPair& priors,
+                                       std::uint64_t mcmc_seed) {
+  engine::EstimatorRequest req(1.0, data, priors);
+  req.mcmc.base.seed = mcmc_seed;
+  return req;
+}
 
 /// The paper's "Info" priors (Sec. 6): good guesses for the parameters.
 inline bayes::PriorPair info_priors_dt() {

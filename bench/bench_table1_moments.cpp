@@ -2,6 +2,10 @@
 // distributions of (omega, beta) under NINT / LAPL / MCMC / VB1 / VB2
 // for {D_T, D_G} x {Info, NoInfo}, with relative deviations from NINT.
 //
+// The whole 5-method x 4-scenario grid is evaluated by the engine's
+// BatchRunner on a worker pool; reports come back in deterministic
+// order, so the printout is identical to a serial run.
+//
 // Shape expectations from the paper (absolute values differ because the
 // System 17 data set is a documented synthetic stand-in):
 //   * NINT ~ MCMC ~ VB2 everywhere except D_G-NoInfo;
@@ -11,11 +15,9 @@
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <vector>
 
-#include "bayes/gibbs.hpp"
-#include "bayes/laplace.hpp"
 #include "bench_common.hpp"
-#include "core/vb1.hpp"
 
 using namespace vbsrm;
 using namespace vbsrm::bench;
@@ -36,43 +38,6 @@ void print_row(const char* name, const bayes::PosteriorSummary& s,
   }
 }
 
-template <typename Data>
-void run_case(const std::string& title, const Data& data,
-              const bayes::PriorPair& priors) {
-  print_header("Table 1: " + title);
-  std::printf("%-6s %10s %11s %12s %12s %13s\n", "method", "E[w]", "E[b]",
-              "Var(w)", "Var(b)", "Cov(w,b)");
-  print_rule();
-
-  const core::Vb2Estimator vb2(1.0, data, priors);
-  const bayes::LogPosterior post(1.0, data, priors);
-  const bayes::NintEstimator nint(post, nint_box_from_vb2(vb2));
-  const auto ref = nint.summary();
-  print_row("NINT", ref, std::nullopt);
-
-  try {
-    const bayes::LaplaceEstimator lap(post);
-    print_row("LAPL", lap.summary(), ref);
-  } catch (const std::exception& e) {
-    std::printf("LAPL   (failed: %s)\n", e.what());
-  }
-
-  bayes::McmcOptions mc;  // paper configuration
-  mc.seed = 20070625;
-  const auto chain = [&] {
-    if constexpr (std::is_same_v<Data, data::GroupedData>) {
-      return bayes::gibbs_grouped(1.0, data, priors, mc);
-    } else {
-      return bayes::gibbs_failure_times(1.0, data, priors, mc);
-    }
-  }();
-  print_row("MCMC", chain.summary(), ref);
-
-  const core::Vb1Estimator vb1(1.0, data, priors);
-  print_row("VB1", vb1.posterior().summary(), ref);
-  print_row("VB2", vb2.posterior().summary(), ref);
-}
-
 }  // namespace
 
 int main() {
@@ -84,11 +49,39 @@ int main() {
 
   const auto dt = data::datasets::system17_failure_times();
   const auto dg = data::datasets::system17_grouped();
+  const char* scenarios[] = {
+      "DT and Info", "DT and NoInfo", "DG and Info",
+      "DG and NoInfo (expected: unstable, all methods disagree)"};
 
-  run_case("DT and Info", dt, info_priors_dt());
-  run_case("DT and NoInfo", dt, noinfo_priors());
-  run_case("DG and Info", dg, info_priors_dg());
-  run_case("DG and NoInfo (expected: unstable, all methods disagree)", dg,
-           noinfo_priors());
+  engine::BatchSpec spec;
+  for (const auto& m : kPaperMethods) spec.methods.push_back(m.key);
+  spec.requests = {paper_request(dt, info_priors_dt(), 20070625),
+                   paper_request(dt, noinfo_priors(), 20070625),
+                   paper_request(dg, info_priors_dg(), 20070625),
+                   paper_request(dg, noinfo_priors(), 20070625)};
+  spec.levels = {0.99};
+
+  const engine::BatchRunner runner;  // hardware_concurrency workers
+  const auto reports = runner.run(spec);
+  const std::size_t n_requests = spec.requests.size();
+
+  for (std::size_t ri = 0; ri < n_requests; ++ri) {
+    print_header(std::string("Table 1: ") + scenarios[ri]);
+    std::printf("%-6s %10s %11s %12s %12s %13s\n", "method", "E[w]", "E[b]",
+                "Var(w)", "Var(b)", "Cov(w,b)");
+    print_rule();
+
+    std::optional<bayes::PosteriorSummary> ref;
+    for (std::size_t mi = 0; mi < std::size(kPaperMethods); ++mi) {
+      const auto& report = reports[mi * n_requests + ri];
+      if (!report.ok) {
+        std::printf("%-6s (failed: %s)\n", kPaperMethods[mi].label,
+                    report.error.c_str());
+        continue;
+      }
+      print_row(kPaperMethods[mi].label, report.summary, ref);
+      if (mi == 0) ref = report.summary;  // NINT is the reference
+    }
+  }
   return 0;
 }

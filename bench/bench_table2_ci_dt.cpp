@@ -1,71 +1,33 @@
 // Table 2 reproduction: two-sided 99% credible intervals for omega and
 // beta on the failure-time data D_T, Info and NoInfo priors, for all
-// five methods with relative deviations from NINT.
+// five methods (one engine request per scenario, one loop) with
+// relative deviations from NINT.
 //
 // Paper shape: MCMC/VB2 within ~3% of NINT; LAPL shifted left on both
 // ends; VB1 too narrow (beta bounds off by 15-20%).
 #include <cstdio>
+#include <optional>
+#include <string>
 
-#include "bayes/gibbs.hpp"
-#include "bayes/laplace.hpp"
 #include "bench_common.hpp"
-#include "core/vb1.hpp"
 
 using namespace vbsrm;
 using namespace vbsrm::bench;
 
 namespace {
 
-struct Row {
-  double wl, wu, bl, bu;
-};
-
-void print_row(const char* name, const Row& r, const Row* ref) {
-  std::printf("%-6s %10.2f %10.2f %12.3e %12.3e\n", name, r.wl, r.wu, r.bl,
-              r.bu);
+void print_interval_row(const char* name, const engine::EstimationReport& r,
+                        const std::optional<engine::EstimationReport>& ref) {
+  std::printf("%-6s %10.2f %10.2f %12.3e %12.3e\n", name, r.omega_interval.lower,
+              r.omega_interval.upper, r.beta_interval.lower,
+              r.beta_interval.upper);
   if (ref) {
     std::printf("%-6s %9.1f%% %9.1f%% %11.1f%% %11.1f%%\n", "",
-                rel_dev_pct(r.wl, ref->wl), rel_dev_pct(r.wu, ref->wu),
-                rel_dev_pct(r.bl, ref->bl), rel_dev_pct(r.bu, ref->bu));
+                rel_dev_pct(r.omega_interval.lower, ref->omega_interval.lower),
+                rel_dev_pct(r.omega_interval.upper, ref->omega_interval.upper),
+                rel_dev_pct(r.beta_interval.lower, ref->beta_interval.lower),
+                rel_dev_pct(r.beta_interval.upper, ref->beta_interval.upper));
   }
-}
-
-void run_case(const char* title, const data::FailureTimeData& dt,
-              const bayes::PriorPair& priors) {
-  print_header(std::string("Table 2: 99% CIs, D_T, ") + title);
-  std::printf("%-6s %10s %10s %12s %12s\n", "method", "w_lower", "w_upper",
-              "b_lower", "b_upper");
-  print_rule();
-  constexpr double kLevel = 0.99;
-
-  const core::Vb2Estimator vb2(1.0, dt, priors);
-  const bayes::LogPosterior post(1.0, dt, priors);
-  const bayes::NintEstimator nint(post, nint_box_from_vb2(vb2));
-  const auto no = nint.interval_omega(kLevel);
-  const auto nb = nint.interval_beta(kLevel);
-  const Row ref{no.lower, no.upper, nb.lower, nb.upper};
-  print_row("NINT", ref, nullptr);
-
-  const bayes::LaplaceEstimator lap(post);
-  const auto lo = lap.interval_omega(kLevel);
-  const auto lb = lap.interval_beta(kLevel);
-  print_row("LAPL", {lo.lower, lo.upper, lb.lower, lb.upper}, &ref);
-
-  bayes::McmcOptions mc;
-  mc.seed = 20070626;
-  const auto chain = bayes::gibbs_failure_times(1.0, dt, priors, mc);
-  const auto mo = chain.interval_omega(kLevel);
-  const auto mb = chain.interval_beta(kLevel);
-  print_row("MCMC", {mo.lower, mo.upper, mb.lower, mb.upper}, &ref);
-
-  const core::Vb1Estimator vb1(1.0, dt, priors);
-  const auto v1o = vb1.posterior().interval_omega(kLevel);
-  const auto v1b = vb1.posterior().interval_beta(kLevel);
-  print_row("VB1", {v1o.lower, v1o.upper, v1b.lower, v1b.upper}, &ref);
-
-  const auto v2o = vb2.posterior().interval_omega(kLevel);
-  const auto v2b = vb2.posterior().interval_beta(kLevel);
-  print_row("VB2", {v2o.lower, v2o.upper, v2b.lower, v2b.upper}, &ref);
 }
 
 }  // namespace
@@ -75,7 +37,32 @@ int main() {
   std::printf("Paper reference (Info, NINT): w=[27.74, 59.45], "
               "b=[6.27e-06, 1.69e-05]\n");
   const auto dt = data::datasets::system17_failure_times();
-  run_case("Info", dt, info_priors_dt());
-  run_case("NoInfo", dt, noinfo_priors());
+  const char* scenarios[] = {"Info", "NoInfo"};
+
+  engine::BatchSpec spec;
+  for (const auto& m : kPaperMethods) spec.methods.push_back(m.key);
+  spec.requests = {paper_request(dt, info_priors_dt(), 20070626),
+                   paper_request(dt, noinfo_priors(), 20070626)};
+  spec.levels = {0.99};
+  const auto reports = engine::BatchRunner().run(spec);
+  const std::size_t n_requests = spec.requests.size();
+
+  for (std::size_t ri = 0; ri < n_requests; ++ri) {
+    print_header(std::string("Table 2: 99% CIs, D_T, ") + scenarios[ri]);
+    std::printf("%-6s %10s %10s %12s %12s\n", "method", "w_lower", "w_upper",
+                "b_lower", "b_upper");
+    print_rule();
+    std::optional<engine::EstimationReport> ref;
+    for (std::size_t mi = 0; mi < std::size(kPaperMethods); ++mi) {
+      const auto& report = reports[mi * n_requests + ri];
+      if (!report.ok) {
+        std::printf("%-6s (failed: %s)\n", kPaperMethods[mi].label,
+                    report.error.c_str());
+        continue;
+      }
+      print_interval_row(kPaperMethods[mi].label, report, ref);
+      if (mi == 0) ref = report;
+    }
+  }
   return 0;
 }

@@ -1,15 +1,14 @@
 // Table 4 reproduction: point and two-sided 99% interval estimates of
 // software reliability R(t_e + u | t_e), D_T with Info priors,
-// u in {1000, 10000}.
+// u in {1000, 10000} — a single engine batch with two reliability
+// windows (each method is fitted exactly once).
 //
 // Paper shape: NINT ~ MCMC ~ VB2; VB1 intervals too narrow; LAPL upper
 // bound can exceed 1 (flagged <...> in the paper).
 #include <cstdio>
+#include <string>
 
-#include "bayes/gibbs.hpp"
-#include "bayes/laplace.hpp"
 #include "bench_common.hpp"
-#include "core/vb1.hpp"
 
 using namespace vbsrm;
 using namespace vbsrm::bench;
@@ -29,29 +28,30 @@ int main() {
   std::printf("Paper reference (u=1000, NINT): R=0.9791 [0.9483, 0.9946]\n");
 
   const auto dt = data::datasets::system17_failure_times();
-  const auto priors = info_priors_dt();
-  constexpr double kLevel = 0.99;
 
-  const core::Vb2Estimator vb2(1.0, dt, priors);
-  const bayes::LogPosterior post(1.0, dt, priors);
-  const bayes::NintEstimator nint(post, nint_box_from_vb2(vb2));
-  const bayes::LaplaceEstimator lap(post);
-  bayes::McmcOptions mc;
-  mc.seed = 20070628;
-  const auto chain = bayes::gibbs_failure_times(1.0, dt, priors, mc);
-  const core::Vb1Estimator vb1(1.0, dt, priors);
+  engine::BatchSpec spec;
+  for (const auto& m : kPaperMethods) spec.methods.push_back(m.key);
+  spec.requests = {paper_request(dt, info_priors_dt(), 20070628)};
+  spec.levels = {0.99};
+  spec.reliability_windows = {1000.0, 10000.0};
+  const auto reports = engine::BatchRunner().run(spec);
 
-  for (double u : {1000.0, 10000.0}) {
+  for (std::size_t ui = 0; ui < spec.reliability_windows.size(); ++ui) {
+    const double u = spec.reliability_windows[ui];
     print_header("Table 4: reliability over (te, te + " +
                  std::to_string(static_cast<int>(u)) + "], D_T and Info");
     std::printf("%-6s %12s %12s %12s\n", "method", "reliability", "lower",
                 "upper");
     print_rule();
-    print_row("NINT", nint.reliability(u, kLevel));
-    print_row("LAPL", lap.reliability(u, kLevel));
-    print_row("MCMC", chain.reliability(u, kLevel));
-    print_row("VB1", vb1.posterior().reliability(u, kLevel));
-    print_row("VB2", vb2.posterior().reliability(u, kLevel));
+    for (std::size_t mi = 0; mi < std::size(kPaperMethods); ++mi) {
+      const auto& report = reports[mi];
+      if (!report.ok) {
+        std::printf("%-6s (failed: %s)\n", kPaperMethods[mi].label,
+                    report.error.c_str());
+        continue;
+      }
+      print_row(kPaperMethods[mi].label, report.reliability[ui]);
+    }
   }
   return 0;
 }

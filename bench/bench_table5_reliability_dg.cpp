@@ -1,14 +1,13 @@
 // Table 5 reproduction: reliability point + 99% interval estimates on
-// the grouped data D_G with Info priors, u in {1, 5} working days.
+// the grouped data D_G with Info priors, u in {1, 5} working days —
+// one engine batch, two reliability windows.
 //
 // Paper shape: NINT ~ MCMC ~ VB2; LAPL point estimate biased downward at
 // the longer horizon (0.283 vs 0.338); VB1 intervals too narrow.
 #include <cstdio>
+#include <string>
 
-#include "bayes/gibbs.hpp"
-#include "bayes/laplace.hpp"
 #include "bench_common.hpp"
-#include "core/vb1.hpp"
 
 using namespace vbsrm;
 using namespace vbsrm::bench;
@@ -28,30 +27,30 @@ int main() {
   std::printf("Paper reference (u=1, NINT): R=0.7907 [0.6618, 0.9015]\n");
 
   const auto dg = data::datasets::system17_grouped();
-  const auto priors = info_priors_dg();
-  constexpr double kLevel = 0.99;
 
-  const core::Vb2Estimator vb2(1.0, dg, priors);
-  const bayes::LogPosterior post(1.0, dg, priors);
-  const bayes::NintEstimator nint(post, nint_box_from_vb2(vb2));
-  const bayes::LaplaceEstimator lap(post);
-  bayes::McmcOptions mc;
-  mc.seed = 20070629;
-  const auto chain = bayes::gibbs_grouped(1.0, dg, priors, mc);
-  const core::Vb1Estimator vb1(1.0, dg, priors);
+  engine::BatchSpec spec;
+  for (const auto& m : kPaperMethods) spec.methods.push_back(m.key);
+  spec.requests = {paper_request(dg, info_priors_dg(), 20070629)};
+  spec.levels = {0.99};
+  spec.reliability_windows = {1.0, 5.0};
+  const auto reports = engine::BatchRunner().run(spec);
 
-  for (double u : {1.0, 5.0}) {
+  for (std::size_t ui = 0; ui < spec.reliability_windows.size(); ++ui) {
+    const double u = spec.reliability_windows[ui];
     print_header("Table 5: reliability over (s_k, s_k + " +
-                 std::to_string(static_cast<int>(u)) +
-                 " days], D_G and Info");
+                 std::to_string(static_cast<int>(u)) + " days], D_G and Info");
     std::printf("%-6s %12s %12s %12s\n", "method", "reliability", "lower",
                 "upper");
     print_rule();
-    print_row("NINT", nint.reliability(u, kLevel));
-    print_row("LAPL", lap.reliability(u, kLevel));
-    print_row("MCMC", chain.reliability(u, kLevel));
-    print_row("VB1", vb1.posterior().reliability(u, kLevel));
-    print_row("VB2", vb2.posterior().reliability(u, kLevel));
+    for (std::size_t mi = 0; mi < std::size(kPaperMethods); ++mi) {
+      const auto& report = reports[mi];
+      if (!report.ok) {
+        std::printf("%-6s (failed: %s)\n", kPaperMethods[mi].label,
+                    report.error.c_str());
+        continue;
+      }
+      print_row(kPaperMethods[mi].label, report.reliability[ui]);
+    }
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 // Table 7 reproduction: VB2 computation time and tail mass Pv(n_max)
 // at fixed truncation points n_max in {100, 200, 500, 1000}, for both
-// data schemes with Info priors.
+// data schemes with Info priors.  Runs through the engine: timing and
+// Pv(n_max) are read off the uniform Diagnostics struct.
 //
 // Paper (Mathematica): DT times 0.56/1.44/6.59/23.22 s, DG times
 // 13.28/58.32/369.53/1429.41 s; Pv(n_max) drops from ~1e-11 (DT,
@@ -30,16 +31,14 @@ void run_case(const char* title, const Data& data,
   const bool grouped = std::is_same_v<Data, data::GroupedData>;
   int row = 0;
   for (std::uint64_t n_max : {100u, 200u, 500u, 1000u}) {
-    core::Vb2Options opt;
-    opt.n_max = n_max;
-    opt.adapt_n_max = false;  // Table 7 fixes the truncation point
-    double tail = 0.0;
-    const double sec = time_seconds([&] {
-      const core::Vb2Estimator vb2(1.0, data, priors, opt);
-      tail = vb2.diagnostics().prob_at_n_max;
-    });
+    auto req = paper_request(data, priors, 0);
+    req.vb2.n_max = n_max;
+    req.vb2.adapt_n_max = false;  // Table 7 fixes the truncation point
+    const auto vb2 = engine::make("vb2", req);
     std::printf("%8llu %14.3e %12.4f %22.2f\n",
-                static_cast<unsigned long long>(n_max), tail, sec,
+                static_cast<unsigned long long>(n_max),
+                vb2->diagnostics().tail_mass_at_n_max,
+                vb2->diagnostics().wall_time_ms / 1000.0,
                 grouped ? paper_dg[row] : paper_dt[row]);
     ++row;
   }
@@ -59,14 +58,13 @@ int main() {
 
   std::printf("\nShape check (paper Sec. 6): with a tolerance of 5e-15 the "
               "Step-4 criterion already holds at n_max = 200 for D_T.\n");
-  core::Vb2Options adaptive;
-  adaptive.epsilon = 5e-15;
-  adaptive.n_max = 100;
-  const core::Vb2Estimator vb2(1.0, dt, info_priors_dt(), adaptive);
-  std::printf("Adaptive run: n_max_used=%llu, Pv(n_max)=%.3e, doublings=%llu\n",
-              static_cast<unsigned long long>(vb2.diagnostics().n_max_used),
-              vb2.diagnostics().prob_at_n_max,
-              static_cast<unsigned long long>(
-                  vb2.diagnostics().n_max_doublings));
+  auto adaptive = paper_request(dt, info_priors_dt(), 0);
+  adaptive.vb2.epsilon = 5e-15;
+  adaptive.vb2.n_max = 100;
+  const auto vb2 = engine::make("vb2", adaptive);
+  std::printf("Adaptive run: n_max_used=%llu, Pv(n_max)=%.3e, iterations=%llu\n",
+              static_cast<unsigned long long>(vb2->diagnostics().n_max_used),
+              vb2->diagnostics().tail_mass_at_n_max,
+              static_cast<unsigned long long>(vb2->diagnostics().iterations));
   return 0;
 }

@@ -10,8 +10,8 @@
 
 #include "bayes/prior.hpp"
 #include "core/predictive.hpp"
-#include "core/vb2.hpp"
 #include "data/datasets.hpp"
+#include "engine/registry.hpp"
 #include "nhpp/assessment.hpp"
 #include "nhpp/families.hpp"
 #include "nhpp/fit.hpp"
@@ -62,12 +62,13 @@ int main(int argc, char** argv) {
   }
   md << "\n";
 
-  // 4. Bayesian interval estimation (VB2, Goel-Okumoto).
-  const core::Vb2Estimator vb2(1.0, data, priors);
-  const auto& post = vb2.posterior();
-  const auto s = post.summary();
-  const auto io = post.interval_omega(0.99);
-  const auto ib = post.interval_beta(0.99);
+  // 4. Bayesian interval estimation through the engine (VB2, GO model).
+  const engine::EstimatorRequest req(1.0, data, priors);
+  const auto vb2 = engine::make("vb2", req);
+  const auto& post = *vb2->mixture();
+  const auto s = vb2->summarize();
+  const auto io = vb2->interval_omega(0.99);
+  const auto ib = vb2->interval_beta(0.99);
   md << "## 4. Bayesian estimates (VB2, Goel-Okumoto)\n\n"
      << "| quantity | mean | 99% interval |\n|---|---|---|\n"
      << "| total faults omega | " << s.mean_omega << " | [" << io.lower

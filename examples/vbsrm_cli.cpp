@@ -2,13 +2,17 @@
 //
 //   vbsrm_cli fit      <times.csv> <t_e> [--alpha0 A] [--prior-omega M SD]
 //                                        [--prior-beta M SD] [--level L]
+//                                        [--method NAME]
 //   vbsrm_cli grouped  <counts.csv>      [same options]
 //   vbsrm_cli predict  <times.csv> <t_e> <u> [same options]
 //   vbsrm_cli compare  <times.csv> <t_e>
+//   vbsrm_cli methods
 //   vbsrm_cli demo
 //
-// CSV formats: `fit`/`predict` read one failure time per line ('#'
-// comments allowed); `grouped` reads "boundary,count" lines.
+// Estimation goes through the unified engine: --method picks any
+// registered posterior approximation (vbsrm_cli methods lists them;
+// default vb2).  CSV formats: `fit`/`predict` read one failure time per
+// line ('#' comments allowed); `grouped` reads "boundary,count" lines.
 // Without --prior-* options, flat priors are used.
 #include <cmath>
 #include <cstdio>
@@ -23,9 +27,9 @@
 
 #include "bayes/prior.hpp"
 #include "core/predictive.hpp"
-#include "core/vb2.hpp"
 #include "data/datasets.hpp"
 #include "data/failure_data.hpp"
+#include "engine/registry.hpp"
 #include "nhpp/families.hpp"
 #include "nhpp/fit.hpp"
 #include "nhpp/trend.hpp"
@@ -37,6 +41,7 @@ namespace {
 struct Options {
   double alpha0 = 1.0;
   double level = 0.99;
+  std::string method = "vb2";
   std::optional<std::pair<double, double>> prior_omega;
   std::optional<std::pair<double, double>> prior_beta;
 };
@@ -47,9 +52,10 @@ struct Options {
                "       vbsrm_cli grouped <counts.csv> [options]\n"
                "       vbsrm_cli predict <times.csv> <t_e> <u> [options]\n"
                "       vbsrm_cli compare <times.csv> <t_e>\n"
+               "       vbsrm_cli methods\n"
                "       vbsrm_cli demo\n"
                "options: --alpha0 A --prior-omega MEAN SD --prior-beta MEAN "
-               "SD --level L\n");
+               "SD --level L --method NAME\n");
   std::exit(2);
 }
 
@@ -66,6 +72,9 @@ Options parse_options(int argc, char** argv, int first) {
     } else if (a == "--level") {
       need(1);
       o.level = std::atof(argv[++i]);
+    } else if (a == "--method") {
+      need(1);
+      o.method = argv[++i];
     } else if (a == "--prior-omega") {
       need(2);
       const double m = std::atof(argv[++i]);
@@ -82,6 +91,11 @@ Options parse_options(int argc, char** argv, int first) {
     }
   }
   if (!(o.alpha0 > 0.0) || !(o.level > 0.0) || !(o.level < 1.0)) usage();
+  if (!engine::is_registered(o.method)) {
+    std::fprintf(stderr, "unknown method: %s (try: vbsrm_cli methods)\n",
+                 o.method.c_str());
+    std::exit(2);
+  }
   return o;
 }
 
@@ -107,23 +121,28 @@ data::FailureTimeData load_times(const char* path, double te) {
   return data::FailureTimeData::from_csv(in, te);
 }
 
-template <typename Posterior>
-void report_posterior(const Posterior& post, double level) {
-  const auto s = post.summary();
-  const auto io = post.interval_omega(level);
-  const auto ib = post.interval_beta(level);
+void report_estimator(const engine::Estimator& est, double level) {
+  const auto s = est.summarize();
+  const auto io = est.interval_omega(level);
+  const auto ib = est.interval_beta(level);
+  const double denom = std::sqrt(s.var_omega * s.var_beta);
+  std::printf("method          : %s (%.2f ms)\n",
+              std::string(est.method()).c_str(),
+              est.diagnostics().wall_time_ms);
   std::printf("posterior means : omega = %.4g, beta = %.4g\n", s.mean_omega,
               s.mean_beta);
   std::printf("posterior sds   : omega = %.4g, beta = %.4g (corr %.3f)\n",
               std::sqrt(s.var_omega), std::sqrt(s.var_beta),
-              s.cov / std::sqrt(s.var_omega * s.var_beta));
+              denom > 0.0 ? s.cov / denom : 0.0);
   std::printf("%.0f%% interval   : omega in [%.4g, %.4g]\n", 100 * level,
               io.lower, io.upper);
   std::printf("%.0f%% interval   : beta  in [%.4g, %.4g]\n", 100 * level,
               ib.lower, ib.upper);
-  const auto res = core::ResidualFaultDistribution::from_posterior(post);
-  std::printf("residual faults : mean %.2f, P(<=%llu) >= 90%%\n", res.mean(),
-              static_cast<unsigned long long>(res.quantile(0.9)));
+  if (const auto* mix = est.mixture()) {
+    const auto res = core::ResidualFaultDistribution::from_posterior(*mix);
+    std::printf("residual faults : mean %.2f, P(<=%llu) >= 90%%\n", res.mean(),
+                static_cast<unsigned long long>(res.quantile(0.9)));
+  }
 }
 
 int cmd_fit(int argc, char** argv) {
@@ -136,8 +155,8 @@ int cmd_fit(int argc, char** argv) {
     std::printf("Laplace trend   : %.2f (negative = reliability growth)\n",
                 nhpp::laplace_trend(dt));
   }
-  const core::Vb2Estimator vb2(opts.alpha0, dt, priors_from(opts));
-  report_posterior(vb2.posterior(), opts.level);
+  const engine::EstimatorRequest req(opts.alpha0, dt, priors_from(opts));
+  report_estimator(*engine::make(opts.method, req), opts.level);
   return 0;
 }
 
@@ -152,8 +171,8 @@ int cmd_grouped(int argc, char** argv) {
   const auto dg = data::GroupedData::from_csv(in);
   std::printf("loaded %zu failures over %zu intervals ending at %g\n",
               dg.total_failures(), dg.intervals(), dg.observation_end());
-  const core::Vb2Estimator vb2(opts.alpha0, dg, priors_from(opts));
-  report_posterior(vb2.posterior(), opts.level);
+  const engine::EstimatorRequest req(opts.alpha0, dg, priors_from(opts));
+  report_estimator(*engine::make(opts.method, req), opts.level);
   return 0;
 }
 
@@ -162,16 +181,19 @@ int cmd_predict(int argc, char** argv) {
   const auto opts = parse_options(argc, argv, 5);
   const auto dt = load_times(argv[2], std::atof(argv[3]));
   const double u = std::atof(argv[4]);
-  const core::Vb2Estimator vb2(opts.alpha0, dt, priors_from(opts));
-  const auto r = vb2.posterior().reliability(u, opts.level);
+  const engine::EstimatorRequest req(opts.alpha0, dt, priors_from(opts));
+  const auto est = engine::make(opts.method, req);
+  const auto r = est->reliability(u, opts.level);
   std::printf("R(te+%g | te) = %.4f, %.0f%% interval [%.4f, %.4f]\n", u,
               r.point, 100 * opts.level, r.lower, r.upper);
-  const core::PredictiveDistribution pred(vb2.posterior(), u);
-  const auto [lo, hi] = pred.interval(opts.level);
-  std::printf("failures in window: mean %.2f, %.0f%% interval [%llu, %llu]\n",
-              pred.mean(), 100 * opts.level,
-              static_cast<unsigned long long>(lo),
-              static_cast<unsigned long long>(hi));
+  if (const auto* mix = est->mixture()) {
+    const core::PredictiveDistribution pred(*mix, u);
+    const auto [lo, hi] = pred.interval(opts.level);
+    std::printf(
+        "failures in window: mean %.2f, %.0f%% interval [%llu, %llu]\n",
+        pred.mean(), 100 * opts.level, static_cast<unsigned long long>(lo),
+        static_cast<unsigned long long>(hi));
+  }
   return 0;
 }
 
@@ -188,14 +210,22 @@ int cmd_compare(int argc, char** argv) {
   return 0;
 }
 
+int cmd_methods() {
+  for (const auto& name : engine::method_names()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
 int cmd_demo() {
   std::printf("demo: bundled synthetic System 17 failure-time data\n\n");
-  const auto dt = data::datasets::system17_failure_times();
-  const bayes::PriorPair priors{bayes::GammaPrior::from_mean_sd(50.0, 15.8),
-                                bayes::GammaPrior::from_mean_sd(1e-5, 3.2e-6)};
-  const core::Vb2Estimator vb2(1.0, dt, priors);
-  report_posterior(vb2.posterior(), 0.99);
-  const auto r = vb2.posterior().reliability(1000.0, 0.99);
+  const engine::EstimatorRequest req(
+      1.0, data::datasets::system17_failure_times(),
+      bayes::PriorPair{bayes::GammaPrior::from_mean_sd(50.0, 15.8),
+                       bayes::GammaPrior::from_mean_sd(1e-5, 3.2e-6)});
+  const auto est = engine::make("vb2", req);
+  report_estimator(*est, 0.99);
+  const auto r = est->reliability(1000.0, 0.99);
   std::printf("R(te+1000 | te) : %.4f [%.4f, %.4f]\n", r.point, r.lower,
               r.upper);
   return 0;
@@ -210,6 +240,7 @@ int main(int argc, char** argv) {
   if (cmd == "grouped") return cmd_grouped(argc, argv);
   if (cmd == "predict") return cmd_predict(argc, argv);
   if (cmd == "compare") return cmd_compare(argc, argv);
+  if (cmd == "methods") return cmd_methods();
   if (cmd == "demo") return cmd_demo();
   usage();
 }

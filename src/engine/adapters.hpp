@@ -1,0 +1,19 @@
+// Concrete adapter factories for the five paper methods.  Exposed so
+// the registry can seed itself deterministically on first use (static
+// self-registration objects are unreliable inside static libraries);
+// callers normally go through engine::make().
+#pragma once
+
+#include <memory>
+
+#include "engine/estimator.hpp"
+
+namespace vbsrm::engine::adapters {
+
+std::unique_ptr<Estimator> make_vb2(const EstimatorRequest& req);
+std::unique_ptr<Estimator> make_vb1(const EstimatorRequest& req);
+std::unique_ptr<Estimator> make_nint(const EstimatorRequest& req);
+std::unique_ptr<Estimator> make_laplace(const EstimatorRequest& req);
+std::unique_ptr<Estimator> make_mcmc(const EstimatorRequest& req);
+
+}  // namespace vbsrm::engine::adapters

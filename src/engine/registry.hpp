@@ -1,0 +1,43 @@
+// String-keyed estimator registry/factory.  The five paper methods are
+// pre-registered; new methods are one `register_method` call away:
+//
+//   engine::register_method("profile", [](const EstimatorRequest& r) {
+//     return std::make_unique<MyProfileAdapter>(r);
+//   });
+//   auto est = engine::make("profile", req);
+//
+// Lookup is case-insensitive ("VB2" == "vb2"); unknown names raise
+// std::invalid_argument listing what is registered.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/estimator.hpp"
+
+namespace vbsrm::engine {
+
+using EstimatorFactory =
+    std::function<std::unique_ptr<Estimator>(const EstimatorRequest&)>;
+
+/// Register a method under `name` (lower-cased).  Returns false and
+/// leaves the registry unchanged if the name is already taken.
+bool register_method(const std::string& name, EstimatorFactory factory);
+
+/// True if `name` resolves to a registered method.
+bool is_registered(std::string_view name);
+
+/// Registered method names, sorted ("laplace", "mcmc", "nint", "vb1",
+/// "vb2" plus any user registrations).
+std::vector<std::string> method_names();
+
+/// Construct-and-fit the named estimator on the request.  Construction
+/// wall time is stamped into `diagnostics().wall_time_ms`.
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<Estimator> make(std::string_view name,
+                                const EstimatorRequest& req);
+
+}  // namespace vbsrm::engine

@@ -92,7 +92,9 @@ TEST(Predictive, QuantileIsGeneralizedInverse) {
   for (double p : {0.05, 0.5, 0.95}) {
     const auto q = pred.quantile(p);
     EXPECT_GE(pred.cdf(q), p);
-    if (q > 0) EXPECT_LT(pred.cdf(q - 1), p);
+    if (q > 0) {
+      EXPECT_LT(pred.cdf(q - 1), p);
+    }
   }
 }
 
