@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,9 @@ class GammaMixturePosterior {
   /// functionals.  Weights need not be normalized on input.
   GammaMixturePosterior(std::vector<ProductGammaComponent> components,
                         double alpha0, double horizon);
+  ~GammaMixturePosterior();
+  GammaMixturePosterior(GammaMixturePosterior&&) noexcept;
+  GammaMixturePosterior& operator=(GammaMixturePosterior&&) noexcept;
 
   const std::vector<ProductGammaComponent>& components() const {
     return components_;
@@ -97,14 +101,54 @@ class GammaMixturePosterior {
   double reliability_quantile(double p, double u) const;
   bayes::ReliabilityEstimate reliability(double u, double level) const;
 
+  /// Hot-path controls for the reliability functionals (see DESIGN.md
+  /// "Performance architecture").  The cache precomputes, per mixture
+  /// component above the functional weight floor, the beta-quadrature
+  /// abscissae and pdf-weight coefficients shared by every reliability
+  /// functional, turning each evaluation into cached dot products and
+  /// letting a quantile search reuse one interval-mass table across all
+  /// of its CDF evaluations.  Disabling it restores the pre-cache
+  /// evaluation paths (used for perf baselines and equivalence tests);
+  /// results agree to quadrature-tolerance level (<= ~1e-10) either way.
+  void set_functional_cache(bool enabled) { use_functional_cache_ = enabled; }
+  /// Worker threads for the per-component functional reduction
+  /// (0 = hardware concurrency).  The reduction order is fixed, so the
+  /// thread count never changes results.
+  void set_functional_threads(unsigned threads) {
+    functional_threads_ = threads;
+  }
+
  private:
   /// Integrate g(beta) against one component's beta marginal.
   template <typename F>
   double beta_integral(const ProductGammaComponent& c, F&& g) const;
 
+  // Lazily built per-component quadrature cache (definitions in the
+  // .cpp): nodes, pdf-weight coefficients, and omega parameters for
+  // every component above the functional weight floor.
+  struct FunctionalCache;
+  struct CacheSlot;
+  struct HTable;
+  const FunctionalCache& functional_cache() const;
+  /// Per-node h = Lambda-increment table for one mission length u,
+  /// indexed [cached component][node], plus the derived b_w/h factors
+  /// the CDF integrand needs; shared across the CDF evaluations of a
+  /// quantile search and the point estimate.
+  HTable make_h_table(const FunctionalCache& fc, double u) const;
+  double reliability_point_cached(const FunctionalCache& fc,
+                                  const HTable& h) const;
+  double reliability_cdf_cached(double x, const FunctionalCache& fc,
+                                const HTable& h) const;
+  double reliability_quantile_cached(double p, const FunctionalCache& fc,
+                                     const HTable& h) const;
+
   std::vector<ProductGammaComponent> components_;
   double alpha0_;
   double horizon_;
+  bool use_functional_cache_ = true;
+  unsigned functional_threads_ = 1;
+  std::vector<double> cum_weights_;  // prefix sums for sample()
+  mutable std::unique_ptr<CacheSlot> cache_slot_;
 };
 
 }  // namespace vbsrm::core

@@ -1,9 +1,11 @@
 #include "core/vb2.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include "math/parallel.hpp"
 #include "math/roots.hpp"
 #include "math/specfun.hpp"
 #include "nhpp/model.hpp"
@@ -15,6 +17,12 @@ namespace m = vbsrm::math;
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// True when alpha0 is a (small) positive integer, which makes the
+/// lgamma(a_b) ladder advance by whole steps.
+bool integral_alpha(double alpha0) {
+  return alpha0 == std::floor(alpha0) && alpha0 >= 1.0 && alpha0 <= 64.0;
+}
 
 }  // namespace
 
@@ -93,29 +101,72 @@ struct ZetaEvaluator {
 
 }  // namespace
 
+double Vb2Estimator::zeta_naive(double xi, double nd) const {
+  const ZetaEvaluator zeta_of{alpha0_, grouped_,
+                              static_cast<double>(observed_), horizon_,
+                              sum_t_, &bounds_, &counts_};
+  return zeta_of(xi, nd);
+}
+
+double Vb2Estimator::zeta_from_table(nhpp::GroupedMassTable& table, double xi,
+                                     double nd) const {
+  table.evaluate(xi);
+  double z = 0.0;
+  if (!grouped_) {
+    z = sum_t_;
+  } else {
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      const double x = static_cast<double>(counts_[i]);
+      if (x > 0.0) z += x * table.truncated_mean(i);
+    }
+  }
+  const double residual = nd - static_cast<double>(observed_);
+  if (residual > 0.0) z += residual * table.tail_truncated_mean();
+  return z;
+}
+
+Vb2Estimator::LadderTerms Vb2Estimator::ladder_exact(std::uint64_t n) const {
+  const double nd = static_cast<double>(n);
+  const double md = static_cast<double>(observed_);
+  return {m::log_gamma(priors_.omega.shape + nd),
+          m::log_gamma(priors_.beta.shape + nd * alpha0_),
+          m::log_gamma(nd - md + 1.0)};
+}
+
+void Vb2Estimator::ladder_advance(LadderTerms& lt, std::uint64_t n) const {
+  // Advance from N = n to N = n + 1: lgamma(x + 1) = lgamma(x) + log(x).
+  const double nd = static_cast<double>(n);
+  const double md = static_cast<double>(observed_);
+  lt.lg_aw += std::log(priors_.omega.shape + nd);
+  lt.lg_rdp1 += std::log(nd - md + 1.0);
+  if (integral_alpha(alpha0_)) {
+    const int k = static_cast<int>(alpha0_);
+    double a = priors_.beta.shape + nd * alpha0_;
+    for (int j = 0; j < k; ++j) {
+      lt.lg_ab += std::log(a);
+      a += 1.0;
+    }
+  } else {
+    lt.lg_ab = m::log_gamma(priors_.beta.shape + (nd + 1.0) * alpha0_);
+  }
+}
+
 std::pair<double, double> Vb2Estimator::solve_component(
     std::uint64_t n) const {
   const double nd = static_cast<double>(n);
   const double md = static_cast<double>(observed_);
-  const ZetaEvaluator zeta_of{alpha0_, grouped_, md, horizon_, sum_t_,
-                              &bounds_, &counts_};
   const double a_beta = priors_.beta.shape + nd * alpha0_;
-
-  // Goel-Okumoto + failure-time data: closed form.
-  if (!grouped_ && alpha0_ == 1.0) {
-    const double xi = (priors_.beta.shape + md) /
-                      (priors_.beta.rate + sum_t_ + (nd - md) * horizon_);
-    return {zeta_of(xi, nd), xi};
-  }
-  auto g = [&](double xi) {
-    return a_beta / (priors_.beta.rate + zeta_of(xi, nd));
-  };
   // Start: pretend every unobserved fault fails right at the horizon.
-  const double start =
+  const double warm =
       a_beta / (priors_.beta.rate + sum_t_ + std::max(0.0, nd - md) * horizon_ +
                 (grouped_ ? md * 0.5 * horizon_ : 0.0) + 1e-300);
-  const auto r = m::fixed_point(g, start, 1e-13, 500);
-  return {zeta_of(r.x, nd), r.x};
+  std::optional<nhpp::GroupedMassTable> table;
+  if (opt_.use_zeta_table) {
+    table.emplace(alpha0_, grouped_ ? bounds_ : std::vector<double>{horizon_});
+  }
+  const auto r = process_component(n, warm, ladder_exact(n),
+                                   table ? &*table : nullptr);
+  return {r.zeta, r.xi};
 }
 
 double Vb2Estimator::component_objective(std::uint64_t n, double xi) const {
@@ -157,7 +208,227 @@ double Vb2Estimator::component_objective(std::uint64_t n, double xi) const {
          xi * zeta;
 }
 
+Vb2Estimator::ComponentResult Vb2Estimator::process_component(
+    std::uint64_t n, double warm, const LadderTerms& lt,
+    nhpp::GroupedMassTable* table) const {
+  const double nd = static_cast<double>(n);
+  const double md = static_cast<double>(observed_);
+  const double a_beta = priors_.beta.shape + nd * alpha0_;
+
+  ComponentResult out;
+
+  // --- Solve the (zeta, xi) fixed point. ---
+  if (!grouped_ && alpha0_ == 1.0 && opt_.use_closed_form) {
+    out.xi = (priors_.beta.shape + md) /
+             (priors_.beta.rate + sum_t_ + (nd - md) * horizon_);
+    out.iterations = 1;
+  } else {
+    auto zeta_at = [&](double xi) {
+      return table ? zeta_from_table(*table, xi, nd) : zeta_naive(xi, nd);
+    };
+    auto g = [&](double xi) {
+      return a_beta / (priors_.beta.rate + zeta_at(xi));
+    };
+    if (opt_.use_newton) {
+      auto f = [&](double xi) { return g(xi) - xi; };
+      auto df = [&](double xi) {
+        const double h = 1e-7 * std::max(xi, 1e-12);
+        return (f(xi + h) - f(xi - h)) / (2.0 * h);
+      };
+      const auto r = m::newton(f, df, warm, warm * 1e-3, warm * 1e3,
+                               opt_.fixed_point_tol, opt_.fixed_point_max_iter);
+      out.xi = r.x;
+      out.iterations = static_cast<std::uint64_t>(r.iterations);
+    } else if (opt_.use_steffensen) {
+      // Steffensen: one Aitken delta-squared extrapolation per pair of
+      // substitution steps.  Convergence is declared by the same
+      // |g(x) - x| criterion as m::fixed_point, so the accepted xi
+      // satisfies the identical residual bound.
+      double x = warm;
+      std::uint64_t evals = 0;
+      const auto limit =
+          static_cast<std::uint64_t>(opt_.fixed_point_max_iter);
+      while (evals + 2 <= limit) {
+        const double x1 = g(x);
+        ++evals;
+        if (std::abs(x1 - x) <=
+            opt_.fixed_point_tol * std::max(1.0, std::abs(x1))) {
+          x = x1;
+          break;
+        }
+        const double x2 = g(x1);
+        ++evals;
+        const double d2 = x2 - x1;
+        const double denom = d2 - (x1 - x);
+        x = x2;
+        if (denom != 0.0) {
+          const double cand = x2 - d2 * d2 / denom;
+          if (std::isfinite(cand) && cand > 0.0) x = cand;
+        }
+      }
+      out.xi = x;
+      out.iterations = evals;
+    } else {
+      const auto r = m::fixed_point(g, warm, opt_.fixed_point_tol,
+                                    opt_.fixed_point_max_iter);
+      out.xi = r.x;
+      out.iterations = static_cast<std::uint64_t>(r.iterations);
+    }
+  }
+
+  // --- Score the component. ---
+  if (!table) {
+    // Legacy path: zeta for the caller, then the objective re-derives
+    // zeta internally — exactly the pre-optimization cost and bits.
+    out.zeta = zeta_naive(out.xi, nd);
+    out.log_w = component_objective(n, out.xi);
+    return out;
+  }
+
+  // Cached path: one table evaluation at the converged xi serves both
+  // zeta and the observed-data log-masses of the objective.
+  const double xi = out.xi;
+  const double rd = nd - md;
+  out.zeta = zeta_from_table(*table, xi, nd);
+  if (!(xi > 0.0)) {
+    out.log_w = -kInf;
+    return out;
+  }
+
+  const double a_w = priors_.omega.shape + nd;
+  const double b_w = priors_.omega.rate + 1.0;
+  const double a_b = a_beta;
+  const double b_b = priors_.beta.rate + out.zeta;
+
+  double log_c;
+  if (!grouped_) {
+    log_c = md * alpha0_ * std::log(xi) + ft_logc_const_ - xi * sum_t_;
+  } else {
+    log_c = 0.0;
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      const double x = static_cast<double>(counts_[i]);
+      if (x > 0.0) log_c += x * table->log_interval_mass(i);
+    }
+  }
+  log_c += rd * table->log_tail_survival() - lt.lg_rdp1;
+
+  out.log_w = lt.lg_aw - a_w * std::log(b_w) + lt.lg_ab -
+              a_b * std::log(b_b) + log_c - nd * alpha0_ * std::log(xi) +
+              xi * out.zeta;
+  return out;
+}
+
+std::uint64_t Vb2Estimator::sweep_stage(std::uint64_t lo, std::uint64_t hi,
+                                        std::uint64_t n_min,
+                                        double& stage_warm,
+                                        std::vector<double>& log_w,
+                                        std::vector<double>& zetas,
+                                        std::vector<double>& xis) const {
+  auto make_table = [&]() -> std::optional<nhpp::GroupedMassTable> {
+    if (!opt_.use_zeta_table) return std::nullopt;
+    return nhpp::GroupedMassTable(
+        alpha0_, grouped_ ? bounds_ : std::vector<double>{horizon_});
+  };
+  const std::uint64_t resync =
+      std::max<std::uint64_t>(1, opt_.lgamma_resync);
+
+  // Legacy strictly sequential chain (also the sweep_chunk == 0 mode).
+  if (opt_.sweep_chunk == 0) {
+    auto table = make_table();
+    std::uint64_t iters = 0;
+    LadderTerms lt = ladder_exact(lo);
+    std::uint64_t since_exact = 0;
+    double warm = stage_warm;
+    for (std::uint64_t n = lo; n <= hi; ++n) {
+      if (n > lo) {
+        if (opt_.use_lgamma_recurrence && since_exact < resync) {
+          ladder_advance(lt, n - 1);
+          ++since_exact;
+        } else {
+          lt = ladder_exact(n);
+          since_exact = 0;
+        }
+      }
+      const auto r =
+          process_component(n, warm, lt, table ? &*table : nullptr);
+      const std::size_t k = static_cast<std::size_t>(n - n_min);
+      log_w[k] = r.log_w;
+      zetas[k] = r.zeta;
+      xis[k] = r.xi;
+      warm = r.xi;
+      iters += r.iterations;
+    }
+    stage_warm = warm;
+    return iters;
+  }
+
+  // Chunked sweep: decomposition and seeding depend only on the range
+  // and sweep_chunk, never on the thread count.
+  const std::uint64_t chunk = opt_.sweep_chunk;
+  const std::size_t n_chunks =
+      static_cast<std::size_t>((hi - lo) / chunk) + 1;
+
+  // Pass 1: chunk heads, solved in order with a chained warm start.
+  std::vector<double> head_xi(n_chunks);
+  std::uint64_t head_iters = 0;
+  {
+    auto table = make_table();
+    double warm = stage_warm;
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      const std::uint64_t n = lo + static_cast<std::uint64_t>(c) * chunk;
+      const auto r = process_component(n, warm, ladder_exact(n),
+                                       table ? &*table : nullptr);
+      const std::size_t k = static_cast<std::size_t>(n - n_min);
+      log_w[k] = r.log_w;
+      zetas[k] = r.zeta;
+      xis[k] = r.xi;
+      head_xi[c] = r.xi;
+      warm = r.xi;
+      head_iters += r.iterations;
+    }
+  }
+
+  // Pass 2: chunk bodies in parallel, each warm-chained from its own
+  // head; the lgamma ladder reseeds exactly at every head.
+  std::vector<std::uint64_t> body_iters(n_chunks, 0);
+  m::parallel_for(n_chunks, opt_.threads, [&](std::size_t c) {
+    const std::uint64_t head = lo + static_cast<std::uint64_t>(c) * chunk;
+    const std::uint64_t end = std::min(hi, head + chunk - 1);
+    if (end == head) return;
+    auto table = make_table();
+    LadderTerms lt = ladder_exact(head);
+    std::uint64_t since_exact = 0;
+    double warm = head_xi[c];
+    for (std::uint64_t n = head + 1; n <= end; ++n) {
+      if (opt_.use_lgamma_recurrence && since_exact < resync) {
+        ladder_advance(lt, n - 1);
+        ++since_exact;
+      } else {
+        lt = ladder_exact(n);
+        since_exact = 0;
+      }
+      const auto r =
+          process_component(n, warm, lt, table ? &*table : nullptr);
+      const std::size_t k = static_cast<std::size_t>(n - n_min);
+      log_w[k] = r.log_w;
+      zetas[k] = r.zeta;
+      xis[k] = r.xi;
+      warm = r.xi;
+      body_iters[c] += r.iterations;
+    }
+  });
+
+  std::uint64_t iters = head_iters;
+  for (const std::uint64_t it : body_iters) iters += it;
+  stage_warm = xis[static_cast<std::size_t>(hi - n_min)];
+  return iters;
+}
+
 void Vb2Estimator::run(const Vb2Options& opt) {
+  opt_ = opt;
+  ft_logc_const_ = (alpha0_ - 1.0) * sum_log_t_ -
+                   static_cast<double>(observed_) * m::log_gamma(alpha0_);
+
   const std::uint64_t n_min = observed_;
   std::uint64_t n_max = std::max<std::uint64_t>(opt.n_max, n_min + 1);
 
@@ -165,41 +436,7 @@ void Vb2Estimator::run(const Vb2Options& opt) {
   std::vector<double> zetas, xis;  // per component
   std::uint64_t fp_iters = 0;
 
-  const ZetaEvaluator zeta_of{alpha0_, grouped_,
-                              static_cast<double>(observed_), horizon_,
-                              sum_t_, &bounds_, &counts_};
   const double a_beta_base = priors_.beta.shape;
-
-  auto solve_with_warm_start = [&](std::uint64_t n,
-                                   double warm) -> std::pair<double, double> {
-    const double nd = static_cast<double>(n);
-    const double md = static_cast<double>(observed_);
-    const double a_beta = a_beta_base + nd * alpha0_;
-    if (!grouped_ && alpha0_ == 1.0 && opt.use_closed_form) {
-      const double xi = (priors_.beta.shape + md) /
-                        (priors_.beta.rate + sum_t_ + (nd - md) * horizon_);
-      ++fp_iters;
-      return {zeta_of(xi, nd), xi};
-    }
-    auto g = [&](double xi) {
-      return a_beta / (priors_.beta.rate + zeta_of(xi, nd));
-    };
-    if (opt.use_newton) {
-      auto f = [&](double xi) { return g(xi) - xi; };
-      auto df = [&](double xi) {
-        const double h = 1e-7 * std::max(xi, 1e-12);
-        return (f(xi + h) - f(xi - h)) / (2.0 * h);
-      };
-      const auto r = m::newton(f, df, warm, warm * 1e-3, warm * 1e3,
-                               opt.fixed_point_tol, opt.fixed_point_max_iter);
-      fp_iters += static_cast<std::uint64_t>(r.iterations);
-      return {zeta_of(r.x, nd), r.x};
-    }
-    const auto r = m::fixed_point(g, warm, opt.fixed_point_tol,
-                                  opt.fixed_point_max_iter);
-    fp_iters += static_cast<std::uint64_t>(r.iterations);
-    return {zeta_of(r.x, nd), r.x};
-  };
 
   // Initial warm start: all mass at the horizon.
   double warm = (a_beta_base + static_cast<double>(n_min) * alpha0_) /
@@ -212,13 +449,10 @@ void Vb2Estimator::run(const Vb2Options& opt) {
   std::uint64_t doublings = 0;
   std::uint64_t n_next = n_min;
   for (;;) {
-    for (std::uint64_t n = n_next; n <= n_max; ++n) {
-      const auto [zeta, xi] = solve_with_warm_start(n, warm);
-      warm = xi;
-      zetas.push_back(zeta);
-      xis.push_back(xi);
-      log_w.push_back(component_objective(n, xi));
-    }
+    log_w.resize(static_cast<std::size_t>(n_max - n_min) + 1);
+    zetas.resize(log_w.size());
+    xis.resize(log_w.size());
+    fp_iters += sweep_stage(n_next, n_max, n_min, warm, log_w, zetas, xis);
     n_next = n_max + 1;
 
     // Step 3-4: normalize and test the tail mass.

@@ -39,6 +39,10 @@
 #include "core/gamma_mixture.hpp"
 #include "data/failure_data.hpp"
 
+namespace vbsrm::nhpp {
+class GroupedMassTable;
+}
+
 namespace vbsrm::core {
 
 struct Vb2Options {
@@ -58,6 +62,45 @@ struct Vb2Options {
   /// Newton acceleration for the fixed point instead of plain
   /// successive substitution (ablation A3).
   bool use_newton = false;
+
+  // ---- Hot-path controls.  The defaults enable the fast paths; the
+  // naive settings (threads=1, sweep_chunk=0, use_zeta_table=false,
+  // use_lgamma_recurrence=false) reproduce the pre-optimization code
+  // paths bit-for-bit and are kept for perf baselines and equivalence
+  // tests (see DESIGN.md "Performance architecture"). ----
+
+  /// Worker threads for the chunked component sweep (0 = hardware
+  /// concurrency).  The thread count only changes scheduling, never
+  /// chunk decomposition or warm-start seeding, so results are
+  /// bit-identical for every value.
+  unsigned threads = 1;
+  /// Components per chunk of the deterministic chunked sweep.  Chunk
+  /// heads are solved sequentially (each warm-started from the previous
+  /// head's xi); chunk bodies then solve independently, warm-chaining
+  /// from their own head.  0 disables chunking and restores the legacy
+  /// strictly sequential warm-start chain (implies a serial sweep).
+  std::uint64_t sweep_chunk = 64;
+  /// Evaluate zeta through a per-xi nhpp::GroupedMassTable: each shared
+  /// bin boundary costs one incomplete-gamma pair evaluation per law
+  /// instead of two log-space evaluations per adjacent interval, and
+  /// the converged table is reused for the component's log-weight
+  /// (the naive path re-derives zeta twice per component).
+  bool use_zeta_table = true;
+  /// Advance the objective's lgamma(a_w), lgamma(a_b), lgamma(rd+1)
+  /// terms along the N ladder with lgamma(x+1) = lgamma(x) + log(x)
+  /// recurrences (a_w and rd advance by 1, a_b by alpha0; non-integral
+  /// alpha0 keeps direct evaluation for a_b).  Only active together
+  /// with use_zeta_table.
+  bool use_lgamma_recurrence = true;
+  /// Exactly recompute the recurrence every this many components to
+  /// bound drift; chunk heads always reseed exactly.
+  std::uint64_t lgamma_resync = 64;
+  /// Steffensen (Aitken delta-squared) acceleration of the successive
+  /// substitution: the ~0.7-rate linear contraction of the xi map
+  /// becomes quadratic, cutting ~70 zeta evaluations per component to
+  /// under 10 at the same tolerance.  Off restores the plain
+  /// pre-optimization iteration.  Ignored when use_newton is set.
+  bool use_steffensen = true;
 };
 
 struct Vb2Diagnostics {
@@ -87,8 +130,48 @@ class Vb2Estimator {
   std::pair<double, double> solve_component(std::uint64_t n) const;
 
  private:
-  struct Impl;
   void run(const Vb2Options& opt);
+
+  /// The three lgamma terms of the per-component objective at one N,
+  /// either computed directly or advanced by ladder recurrences.
+  struct LadderTerms {
+    double lg_aw = 0.0;    // lgamma(m_w + N)
+    double lg_ab = 0.0;    // lgamma(m_b + N alpha0)
+    double lg_rdp1 = 0.0;  // lgamma(N - m + 1)
+  };
+  struct ComponentResult {
+    double zeta = 0.0;
+    double xi = 0.0;
+    double log_w = 0.0;
+    std::uint64_t iterations = 0;
+  };
+
+  LadderTerms ladder_exact(std::uint64_t n) const;
+  void ladder_advance(LadderTerms& lt, std::uint64_t n) const;  // n -> n+1
+
+  /// E-step expectation zeta(xi, N) via GammaFailureLaw (legacy path).
+  double zeta_naive(double xi, double nd) const;
+  /// Same through a boundary table the caller owns as scratch.
+  double zeta_from_table(nhpp::GroupedMassTable& table, double xi,
+                         double nd) const;
+
+  /// Solve the fixed point from `warm` and score the component.  With a
+  /// scratch `table` the zeta/objective path is the cached one and `lt`
+  /// supplies the lgamma terms; with table == nullptr both follow the
+  /// legacy code (component_objective recomputes zeta).
+  ComponentResult process_component(std::uint64_t n, double warm,
+                                    const LadderTerms& lt,
+                                    nhpp::GroupedMassTable* table) const;
+
+  /// Solve + score the ladder [lo, hi] (one stage of the adaptive
+  /// n_max loop), appending to the per-component arrays which are
+  /// indexed by N - n_min.  `stage_warm` carries the warm-start chain
+  /// across stages.  Returns the fixed-point iteration total.
+  std::uint64_t sweep_stage(std::uint64_t lo, std::uint64_t hi,
+                            std::uint64_t n_min, double& stage_warm,
+                            std::vector<double>& log_w,
+                            std::vector<double>& zetas,
+                            std::vector<double>& xis) const;
 
   double alpha0_;
   bayes::PriorPair priors_;
@@ -100,6 +183,8 @@ class Vb2Estimator {
   double sum_log_t_ = 0.0;   // failure-time data only
   std::vector<double> bounds_;          // grouped only
   std::vector<std::size_t> counts_;     // grouped only
+  Vb2Options opt_;           // as passed to the constructor
+  double ft_logc_const_ = 0.0;  // (alpha0-1) sum log t - m lgamma(alpha0)
 
   std::optional<GammaMixturePosterior> posterior_;
   Vb2Diagnostics diag_;

@@ -1,11 +1,10 @@
 #include "engine/batch.hpp"
 
-#include <algorithm>
-#include <atomic>
 #include <exception>
 #include <thread>
 
 #include "engine/registry.hpp"
+#include "math/parallel.hpp"
 
 namespace vbsrm::engine {
 
@@ -81,25 +80,9 @@ std::vector<EstimationReport> BatchRunner::run(const BatchSpec& spec) const {
     }
   };
 
-  const unsigned n_workers =
-      static_cast<unsigned>(std::min<std::size_t>(threads_, n_cells));
-  if (n_workers <= 1) {
-    for (std::size_t cell = 0; cell < n_cells; ++cell) run_cell(cell);
-    return reports;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(n_workers);
-  for (unsigned w = 0; w < n_workers; ++w) {
-    workers.emplace_back([&] {
-      for (std::size_t cell = next.fetch_add(1); cell < n_cells;
-           cell = next.fetch_add(1)) {
-        run_cell(cell);
-      }
-    });
-  }
-  for (std::thread& t : workers) t.join();
+  // Shared work-queue pool (math/parallel.hpp); per-cell exceptions are
+  // already captured into the report, so nothing propagates from here.
+  math::parallel_for(n_cells, threads_, run_cell);
   return reports;
 }
 

@@ -1,0 +1,49 @@
+#include "math/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vbsrm::math {
+
+unsigned resolve_threads(unsigned threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::size_t n, unsigned threads,
+                  const std::function<void(std::size_t)>& task) {
+  if (n == 0) return;
+  const unsigned n_workers = static_cast<unsigned>(
+      std::min<std::size_t>(resolve_threads(threads), n));
+  if (n_workers <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto drain = [&] {
+    for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      try {
+        task(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(n_workers);
+  for (unsigned w = 0; w < n_workers; ++w) workers.emplace_back(drain);
+  for (std::thread& t : workers) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace vbsrm::math

@@ -20,9 +20,9 @@ constexpr double kLanczos[9] = {
     771.32342877765313,    -176.61502916214059,  12.507343278686905,
     -0.13857109526572012,  9.9843695780195716e-6, 1.5056327351493116e-7};
 
-// Series expansion of P(a,x)*Gamma(a)*exp(x)*x^-a; converges fast for
-// x < a + 1.  Returns log of the regularized lower incomplete gamma.
-double log_gamma_p_series(double a, double x) {
+// Series sum for P(a,x)*Gamma(a)*exp(x)*x^-a; converges fast for
+// x < a + 1.
+double gamma_p_series_sum(double a, double x) {
   double term = 1.0 / a;
   double sum = term;
   double ap = a;
@@ -32,13 +32,12 @@ double log_gamma_p_series(double a, double x) {
     sum += term;
     if (std::abs(term) < std::abs(sum) * 1e-17) break;
   }
-  // P(a,x) = sum * exp(-x + a log x - lgamma(a))
-  return std::log(sum) - x + a * std::log(x) - log_gamma(a);
+  return sum;
 }
 
-// Modified Lentz continued fraction for Q(a,x); valid for x > a + 1.
-// Returns log Q(a,x).
-double log_gamma_q_cf(double a, double x) {
+// Modified Lentz continued-fraction value h with
+// Q(a,x) = h * exp(-x + a log x - lgamma(a)); valid for x > a + 1.
+double gamma_q_cf_value(double a, double x) {
   constexpr double tiny = 1e-300;
   double b = x + 1.0 - a;
   double c = 1.0 / tiny;
@@ -56,11 +55,41 @@ double log_gamma_q_cf(double a, double x) {
     h *= delta;
     if (std::abs(delta - 1.0) < 1e-16) break;
   }
-  // Q(a,x) = h * exp(-x + a log x - lgamma(a))
-  return std::log(h) - x + a * std::log(x) - log_gamma(a);
+  return h;
+}
+
+// Log of the regularized lower incomplete gamma via the series kernel.
+double log_gamma_p_series(double a, double x) {
+  return std::log(gamma_p_series_sum(a, x)) - x + a * std::log(x) -
+         log_gamma(a);
+}
+
+// log Q(a,x) via the continued-fraction kernel.
+double log_gamma_q_cf(double a, double x) {
+  return std::log(gamma_q_cf_value(a, x)) - x + a * std::log(x) -
+         log_gamma(a);
 }
 
 }  // namespace
+
+GammaPQ gamma_pq_cached(double a, double x, double log_x,
+                        double log_gamma_a) {
+  if (!(a > 0.0) || x < 0.0) return {kNan, kNan};
+  if (x == 0.0) return {0.0, 1.0};
+  const double prefactor = std::exp(a * log_x - x - log_gamma_a);
+  if (x < a + 1.0) {
+    const double p = std::min(1.0, gamma_p_series_sum(a, x) * prefactor);
+    return {p, 1.0 - p};
+  }
+  const double q = std::min(1.0, gamma_q_cf_value(a, x) * prefactor);
+  return {1.0 - q, q};
+}
+
+GammaPQ gamma_pq(double a, double x) {
+  if (!(a > 0.0) || x < 0.0) return {kNan, kNan};
+  if (x == 0.0) return {0.0, 1.0};
+  return gamma_pq_cached(a, x, std::log(x), log_gamma(a));
+}
 
 double log_gamma(double z) {
   if (!(z > 0.0)) return kNan;

@@ -49,6 +49,23 @@ double log_gamma_p(double a, double x);
 /// Halley iteration on a Wilson-Hilferty start, bisection fallback.
 double inv_gamma_p(double a, double p);
 
+/// Both regularized incomplete gammas at once.
+struct GammaPQ {
+  double p = 0.0;  // P(a, x)
+  double q = 1.0;  // Q(a, x)
+};
+
+/// Evaluate P(a, x) and Q(a, x) from a single series/continued-fraction
+/// kernel evaluation in linear space (one exp, no log round trip).  The
+/// directly computed member (P for x < a+1, Q otherwise) carries full
+/// relative accuracy; its complement is exact to absolute ~1e-16, which
+/// is full relative accuracy wherever that member is O(1) — exactly the
+/// regime interval-mass differencing uses it in.  Hot loops that
+/// evaluate many x at fixed a should use gamma_pq_cached with the
+/// amortized log(x) and log_gamma(a).
+GammaPQ gamma_pq(double a, double x);
+GammaPQ gamma_pq_cached(double a, double x, double log_x, double log_gamma_a);
+
 /// Standard normal cumulative distribution function.
 double normal_cdf(double z);
 

@@ -162,8 +162,11 @@ TEST(Serialization, MixtureRoundTripsThroughCsv) {
   EXPECT_DOUBLE_EQ(back.horizon(), post.horizon());
   const auto s0 = post.summary();
   const auto s1 = back.summary();
-  EXPECT_DOUBLE_EQ(s1.mean_omega, s0.mean_omega);
-  EXPECT_DOUBLE_EQ(s1.var_beta, s0.var_beta);
+  // The constructor renormalizes the reparsed weights, whose printed
+  // sum is 1 only to accumulation ulps; var_beta = E[b^2] - E[b]^2
+  // cancels heavily, so allow those ulps amplified by the cancellation.
+  EXPECT_NEAR(s1.mean_omega, s0.mean_omega, 1e-13 * s0.mean_omega);
+  EXPECT_NEAR(s1.var_beta, s0.var_beta, 1e-11 * s0.var_beta);
   EXPECT_NEAR(back.reliability_point(1000.0), post.reliability_point(1000.0),
               1e-14);
 }

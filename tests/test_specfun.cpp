@@ -233,4 +233,57 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0.001, 0.005, 0.025, 0.5, 0.975,
                                          0.995, 0.999)));
 
+TEST(GammaPQ, PairMatchesSeparateEvaluations) {
+  // The pair kernel shares one series/CF evaluation between P and Q; on
+  // its native side of the x = a+1 split it reproduces gamma_p/gamma_q
+  // exactly, and the complement is accurate to absolute ~1e-16 (full
+  // relative accuracy wherever the complement is O(1)).
+  for (double a : {0.5, 1.0, 2.0, 3.3, 11.0, 77.0, 500.0}) {
+    for (double ratio : {0.05, 0.5, 0.9, 1.0, 1.1, 2.0, 5.0}) {
+      const double x = a * ratio;
+      const auto pq = m::gamma_pq(a, x);
+      // The scalar calls go through log space, whose own relative error
+      // grows with the exponent magnitude |a log x - x - lgamma(a)|
+      // (~eps * magnitude, e.g. ~6e-13 at a = 500); the bound below is
+      // that scalar-path error, not the pair kernel's.
+      EXPECT_NEAR(pq.p, m::gamma_p(a, x), 1e-12) << "a=" << a << " x=" << x;
+      EXPECT_NEAR(pq.q, m::gamma_q(a, x), 1e-12) << "a=" << a << " x=" << x;
+      // The pair is a complement by construction (one rounding).
+      EXPECT_DOUBLE_EQ(pq.p + pq.q, 1.0);
+      // The natively computed member keeps full relative accuracy.
+      if (x < a + 1.0) {
+        EXPECT_NEAR(pq.p, m::gamma_p(a, x), 1e-11 * std::max(pq.p, 1e-300));
+      } else {
+        EXPECT_NEAR(pq.q, m::gamma_q(a, x), 1e-11 * std::max(pq.q, 1e-300));
+      }
+    }
+  }
+}
+
+TEST(GammaPQ, CachedFormMatchesPlainForm) {
+  for (double a : {1.0, 2.7, 40.0}) {
+    for (double x : {0.3, 5.0, 42.0, 300.0}) {
+      const auto plain = m::gamma_pq(a, x);
+      const auto cached =
+          m::gamma_pq_cached(a, x, std::log(x), m::log_gamma(a));
+      EXPECT_EQ(plain.p, cached.p);
+      EXPECT_EQ(plain.q, cached.q);
+    }
+  }
+}
+
+TEST(GammaPQ, EdgeCases) {
+  const auto zero = m::gamma_pq(2.0, 0.0);
+  EXPECT_EQ(zero.p, 0.0);
+  EXPECT_EQ(zero.q, 1.0);
+  const auto bad = m::gamma_pq(-1.0, 2.0);
+  EXPECT_TRUE(std::isnan(bad.p));
+  EXPECT_TRUE(std::isnan(bad.q));
+  // Deep right tail: P saturates at 1, Q underflows linearly but stays
+  // nonnegative.
+  const auto tail = m::gamma_pq(1.0, 700.0);
+  EXPECT_EQ(tail.p, 1.0);
+  EXPECT_GE(tail.q, 0.0);
+}
+
 }  // namespace

@@ -1,0 +1,281 @@
+// Equivalence guard for the VB2 / gamma-mixture hot paths: the cached
+// fast paths (GroupedMassTable zeta, lgamma ladder recurrences, chunked
+// sweep, functional quadrature cache) must reproduce the naive
+// reference paths — bit-for-bit where the code path is shared, and to
+// quadrature/fixed-point tolerance where the arithmetic is reassociated.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/gamma_mixture.hpp"
+#include "core/vb2.hpp"
+#include "data/datasets.hpp"
+#include "data/simulate.hpp"
+#include "nhpp/model.hpp"
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+
+namespace c = vbsrm::core;
+namespace b = vbsrm::bayes;
+namespace d = vbsrm::data;
+namespace n = vbsrm::nhpp;
+
+namespace {
+
+b::PriorPair info_priors_dt() {
+  return {b::GammaPrior::from_mean_sd(50.0, 15.8),
+          b::GammaPrior::from_mean_sd(1e-5, 3.2e-6)};
+}
+
+b::PriorPair info_priors_dg() {
+  return {b::GammaPrior::from_mean_sd(50.0, 15.8),
+          b::GammaPrior::from_mean_sd(3.3e-2, 1.1e-2)};
+}
+
+c::Vb2Options naive_options() {
+  c::Vb2Options o;
+  o.threads = 1;
+  o.sweep_chunk = 0;
+  o.use_zeta_table = false;
+  o.use_lgamma_recurrence = false;
+  o.use_steffensen = false;
+  return o;
+}
+
+/// Compare two fits component-by-component (aligned on N) and on the
+/// summary moments.  `rel` absorbs fixed-point-tolerance and arithmetic
+/// reassociation differences between the paths.
+void expect_posteriors_close(const c::GammaMixturePosterior& a,
+                             const c::GammaMixturePosterior& bb,
+                             double rel) {
+  std::map<std::uint64_t, const c::ProductGammaComponent*> by_n;
+  for (const auto& comp : bb.components()) by_n[comp.n] = &comp;
+  for (const auto& comp : a.components()) {
+    if (comp.weight < 1e-12) continue;  // pruning-boundary components
+    const auto it = by_n.find(comp.n);
+    ASSERT_NE(it, by_n.end()) << "missing component N=" << comp.n;
+    EXPECT_NEAR(comp.weight, it->second->weight, rel + rel * comp.weight)
+        << "N=" << comp.n;
+    EXPECT_NEAR(comp.beta.rate, it->second->beta.rate,
+                rel * comp.beta.rate)
+        << "N=" << comp.n;
+  }
+  const auto sa = a.summary();
+  const auto sb = bb.summary();
+  EXPECT_NEAR(sa.mean_omega, sb.mean_omega, rel * sa.mean_omega);
+  EXPECT_NEAR(sa.mean_beta, sb.mean_beta, rel * sa.mean_beta);
+  EXPECT_NEAR(sa.var_omega, sb.var_omega, 100 * rel * sa.var_omega);
+  EXPECT_NEAR(sa.var_beta, sb.var_beta, 100 * rel * sa.var_beta);
+}
+
+}  // namespace
+
+TEST(Vb2PerfEquivalence, FastMatchesNaiveFailureTime) {
+  const auto dt = d::datasets::system17_failure_times();
+  const c::Vb2Estimator fast(1.0, dt, info_priors_dt());
+  const c::Vb2Estimator naive(1.0, dt, info_priors_dt(), naive_options());
+  expect_posteriors_close(fast.posterior(), naive.posterior(), 1e-10);
+  EXPECT_EQ(fast.diagnostics().n_max_used, naive.diagnostics().n_max_used);
+}
+
+TEST(Vb2PerfEquivalence, FastMatchesNaiveGrouped) {
+  const auto dg = d::datasets::system17_grouped();
+  const c::Vb2Estimator fast(1.0, dg, info_priors_dg());
+  const c::Vb2Estimator naive(1.0, dg, info_priors_dg(), naive_options());
+  expect_posteriors_close(fast.posterior(), naive.posterior(), 1e-9);
+  // Downstream functionals agree too (same cache settings both sides).
+  const auto ia = fast.posterior().interval_beta(0.9);
+  const auto ib = naive.posterior().interval_beta(0.9);
+  EXPECT_NEAR(ia.lower, ib.lower, 1e-9 * ia.lower);
+  EXPECT_NEAR(ia.upper, ib.upper, 1e-9 * ia.upper);
+}
+
+TEST(Vb2PerfEquivalence, FastMatchesNaiveAlpha0Two) {
+  vbsrm::random::Rng rng(19);
+  const auto ft = d::simulate_gamma_nhpp(rng, 120.0, 2.0, 2.5e-3, 2000.0);
+  const c::Vb2Estimator fast(2.0, ft, b::PriorPair::flat());
+  const c::Vb2Estimator naive(2.0, ft, b::PriorPair::flat(),
+                              naive_options());
+  expect_posteriors_close(fast.posterior(), naive.posterior(), 1e-9);
+}
+
+TEST(Vb2PerfEquivalence, FastMatchesNaiveUnderForcedDoubling) {
+  const auto dg = d::datasets::system17_grouped();
+  c::Vb2Options fast_o, naive_o = naive_options();
+  fast_o.n_max = 40;  // n_min = 38: forces the adaptive loop to double
+  naive_o.n_max = 40;
+  const c::Vb2Estimator fast(1.0, dg, info_priors_dg(), fast_o);
+  const c::Vb2Estimator naive(1.0, dg, info_priors_dg(), naive_o);
+  EXPECT_GT(fast.diagnostics().n_max_doublings, 0u);
+  EXPECT_EQ(fast.diagnostics().n_max_used, naive.diagnostics().n_max_used);
+  EXPECT_EQ(fast.diagnostics().n_max_doublings,
+            naive.diagnostics().n_max_doublings);
+  expect_posteriors_close(fast.posterior(), naive.posterior(), 1e-9);
+}
+
+TEST(Vb2PerfEquivalence, ThreadCountIsBitIrrelevant) {
+  // Chunk decomposition and warm-start seeding depend only on
+  // sweep_chunk, so any thread count must give bit-identical output.
+  const auto dg = d::datasets::system17_grouped();
+  c::Vb2Options o1, o2, o4;
+  o1.threads = 1;
+  o2.threads = 2;
+  o4.threads = 4;
+  const c::Vb2Estimator e1(1.0, dg, info_priors_dg(), o1);
+  const c::Vb2Estimator e2(1.0, dg, info_priors_dg(), o2);
+  const c::Vb2Estimator e4(1.0, dg, info_priors_dg(), o4);
+  const auto& c1 = e1.posterior().components();
+  const auto& c2 = e2.posterior().components();
+  const auto& c4 = e4.posterior().components();
+  ASSERT_EQ(c1.size(), c2.size());
+  ASSERT_EQ(c1.size(), c4.size());
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1[i].weight, c2[i].weight);
+    EXPECT_EQ(c1[i].beta.rate, c2[i].beta.rate);
+    EXPECT_EQ(c1[i].weight, c4[i].weight);
+    EXPECT_EQ(c1[i].beta.rate, c4[i].beta.rate);
+  }
+  EXPECT_EQ(e1.diagnostics().total_fixed_point_iterations,
+            e2.diagnostics().total_fixed_point_iterations);
+  EXPECT_EQ(e1.diagnostics().total_fixed_point_iterations,
+            e4.diagnostics().total_fixed_point_iterations);
+}
+
+TEST(Vb2PerfEquivalence, SerialChunkModeEqualsLegacyChain) {
+  // sweep_chunk = 0 restores the strictly sequential warm-start chain;
+  // with the caches also off this is literally the pre-optimization
+  // code path.  Chunked mode only changes warm starts, so converged
+  // fixed points agree to solver tolerance.
+  const auto dg = d::datasets::system17_grouped();
+  c::Vb2Options legacy = naive_options();
+  c::Vb2Options chunked = naive_options();
+  chunked.sweep_chunk = 16;
+  const c::Vb2Estimator a(1.0, dg, info_priors_dg(), legacy);
+  const c::Vb2Estimator b2(1.0, dg, info_priors_dg(), chunked);
+  expect_posteriors_close(a.posterior(), b2.posterior(), 1e-9);
+}
+
+TEST(Vb2PerfEquivalence, LgammaRecurrenceMatchesDirectEvaluation) {
+  const auto dg = d::datasets::system17_grouped();
+  c::Vb2Options rec, direct;
+  direct.use_lgamma_recurrence = false;
+  rec.lgamma_resync = 1024;  // exercise long ladders
+  const c::Vb2Estimator a(1.0, dg, info_priors_dg(), rec);
+  const c::Vb2Estimator b2(1.0, dg, info_priors_dg(), direct);
+  expect_posteriors_close(a.posterior(), b2.posterior(), 1e-9);
+}
+
+TEST(Vb2PerfEquivalence, SteffensenMatchesPlainSubstitution) {
+  // Acceleration changes how fast the xi fixed point is reached, never
+  // which xi is accepted: both solvers stop on the same residual bound.
+  const auto dg = d::datasets::system17_grouped();
+  c::Vb2Options accel = naive_options();
+  accel.use_steffensen = true;
+  const c::Vb2Estimator a(1.0, dg, info_priors_dg(), accel);
+  const c::Vb2Estimator b2(1.0, dg, info_priors_dg(), naive_options());
+  expect_posteriors_close(a.posterior(), b2.posterior(), 1e-9);
+  EXPECT_LT(a.diagnostics().total_fixed_point_iterations,
+            b2.diagnostics().total_fixed_point_iterations / 3);
+}
+
+TEST(Vb2PerfEquivalence, GroupedMassTableMatchesFailureLaw) {
+  const auto dg = d::datasets::system17_grouped();
+  for (const double alpha0 : {1.0, 2.0, 2.7}) {
+    const n::GammaFailureLaw law{alpha0};
+    n::GroupedMassTable table(alpha0, dg.boundaries());
+    for (const double beta : {1e-4, 3.3e-2, 0.5, 5.0}) {
+      table.evaluate(beta);
+      double prev = 0.0;
+      for (std::size_t i = 0; i < table.bins(); ++i) {
+        const double s = dg.boundaries()[i];
+        const double ref = law.interval_mass(prev, s, beta);
+        EXPECT_NEAR(table.interval_mass(i), ref, 1e-12 * ref + 1e-280)
+            << "alpha0=" << alpha0 << " beta=" << beta << " bin=" << i;
+        if (ref > 1e-280) {
+          EXPECT_NEAR(table.truncated_mean(i),
+                      law.truncated_mean(prev, s, beta),
+                      1e-10 * law.truncated_mean(prev, s, beta));
+          EXPECT_NEAR(table.log_interval_mass(i),
+                      law.log_interval_mass(prev, s, beta), 1e-10);
+        }
+        prev = s;
+      }
+      const double inf = std::numeric_limits<double>::infinity();
+      const double tail_ref = law.survival(prev, beta);
+      EXPECT_NEAR(table.tail_survival(), tail_ref,
+                  1e-12 * tail_ref + 1e-280);
+      if (tail_ref > 1e-280) {
+        EXPECT_NEAR(table.tail_truncated_mean(),
+                    law.truncated_mean(prev, inf, beta),
+                    1e-10 * law.truncated_mean(prev, inf, beta));
+      }
+    }
+  }
+}
+
+TEST(Vb2PerfEquivalence, FunctionalCacheMatchesNaiveOnTableScenarios) {
+  // Reliability point / cdf / quantile with the quadrature cache on must
+  // match the uncached evaluation to 1e-10 on the Table 4/5 workloads.
+  const auto dt = d::datasets::system17_failure_times();
+  const auto dg = d::datasets::system17_grouped();
+  const c::Vb2Estimator vt(1.0, dt, info_priors_dt());
+  const c::Vb2Estimator vg(1.0, dg, info_priors_dg());
+  for (const auto* post : {&vt.posterior(), &vg.posterior()}) {
+    c::GammaMixturePosterior cached(post->components(), post->alpha0(),
+                                    post->horizon());
+    c::GammaMixturePosterior naive(post->components(), post->alpha0(),
+                                   post->horizon());
+    naive.set_functional_cache(false);
+    for (const double u : {0.01 * post->horizon(), 0.1 * post->horizon(),
+                           0.5 * post->horizon()}) {
+      EXPECT_NEAR(cached.reliability_point(u), naive.reliability_point(u),
+                  1e-10);
+      for (const double x : {0.2, 0.5, 0.9}) {
+        EXPECT_NEAR(cached.reliability_cdf(x, u),
+                    naive.reliability_cdf(x, u), 1e-10);
+      }
+      for (const double p : {0.05, 0.5, 0.95}) {
+        EXPECT_NEAR(cached.reliability_quantile(p, u),
+                    naive.reliability_quantile(p, u), 1e-10)
+            << "p=" << p << " u=" << u;
+      }
+    }
+  }
+}
+
+TEST(Vb2PerfEquivalence, BinarySearchSamplePreservesDrawSequence) {
+  const auto dg = d::datasets::system17_grouped();
+  const c::Vb2Estimator vb(1.0, dg, info_priors_dg());
+  const auto& post = vb.posterior();
+
+  // Reference: the pre-optimization linear subtractive scan.
+  auto linear_sample = [&](vbsrm::random::Rng& rng) {
+    double u = rng.next_double();
+    const c::ProductGammaComponent* pick = &post.components().back();
+    for (const auto& comp : post.components()) {
+      if (u < comp.weight) {
+        pick = &comp;
+        break;
+      }
+      u -= comp.weight;
+    }
+    return std::pair<double, double>{
+        vbsrm::random::sample_gamma(rng, pick->omega.shape,
+                                    pick->omega.rate),
+        vbsrm::random::sample_gamma(rng, pick->beta.shape,
+                                    pick->beta.rate)};
+  };
+
+  vbsrm::random::Rng r1(12345), r2(12345);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = post.sample(r1);
+    const auto bb = linear_sample(r2);
+    ASSERT_EQ(a.first, bb.first) << "draw " << i;
+    ASSERT_EQ(a.second, bb.second) << "draw " << i;
+  }
+}
