@@ -1,0 +1,223 @@
+// serve_smoke_client — end-to-end smoke test for the vbsrm_serve daemon.
+//
+//   serve_smoke_client <path-to-vbsrm_serve>
+//
+// Spawns the daemon on an ephemeral loopback port (parsing the port
+// from its startup banner), then over real HTTP:
+//   1. GET  /healthz            -> 200
+//   2. GET  /v1/methods         -> 200, lists vb2
+//   3. POST /v1/estimate        -> 200, X-Cache: miss
+//   4. POST /v1/estimate again  -> 200, X-Cache: hit, byte-identical body
+//   5. POST garbage             -> 400
+//   6. GET  /metrics            -> 200, counters reflect 1 hit + 1 miss
+// and finally SIGTERMs the daemon, requiring a clean drain and exit 0.
+// Pure POSIX; exits nonzero with a message on the first failure.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace {
+
+pid_t g_child = -1;
+
+[[noreturn]] void die(const std::string& why) {
+  std::fprintf(stderr, "serve_smoke_client: FAIL: %s\n", why.c_str());
+  if (g_child > 0) kill(g_child, SIGKILL);
+  std::exit(1);
+}
+
+void expect(bool ok, const std::string& what) {
+  if (!ok) die(what);
+  std::printf("ok: %s\n", what.c_str());
+}
+
+/// One HTTP exchange on a fresh connection; returns the raw response.
+std::string http(int port, const std::string& request) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) die("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    die("connect() failed: " + std::string(strerror(errno)));
+  }
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = send(fd, request.data() + off, request.size() - off, 0);
+    if (n <= 0) {
+      close(fd);
+      die("send() failed");
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // server closes after Connection: close
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+std::string request_for(const std::string& method, const std::string& target,
+                        const std::string& body) {
+  std::string r = method + " " + target + " HTTP/1.1\r\n";
+  r += "Host: 127.0.0.1\r\n";
+  r += "Connection: close\r\n";
+  if (!body.empty()) {
+    r += "Content-Type: application/json\r\n";
+    r += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  r += "\r\n" + body;
+  return r;
+}
+
+int status_of(const std::string& response) {
+  int status = 0;
+  if (std::sscanf(response.c_str(), "HTTP/1.1 %d", &status) != 1) {
+    die("unparseable status line: " + response.substr(0, 64));
+  }
+  return status;
+}
+
+std::string body_of(const std::string& response) {
+  const size_t sep = response.find("\r\n\r\n");
+  if (sep == std::string::npos) die("no header/body separator in response");
+  return response.substr(sep + 4);
+}
+
+bool has_header(const std::string& response, const std::string& header) {
+  const size_t sep = response.find("\r\n\r\n");
+  return response.substr(0, sep == std::string::npos ? response.size() : sep)
+             .find(header) != std::string::npos;
+}
+
+/// "key":N extractor for the flat /metrics counters (first occurrence).
+long long counter(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = body.find(needle);
+  if (at == std::string::npos) die("metric \"" + key + "\" missing");
+  return std::atoll(body.c_str() + at + needle.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: serve_smoke_client <path-to-vbsrm_serve>\n");
+    return 2;
+  }
+
+  // --- spawn the daemon with its stdout on a pipe -------------------------
+  int pipefd[2];
+  if (pipe(pipefd) != 0) die("pipe() failed");
+  g_child = fork();
+  if (g_child < 0) die("fork() failed");
+  if (g_child == 0) {
+    dup2(pipefd[1], STDOUT_FILENO);
+    close(pipefd[0]);
+    close(pipefd[1]);
+    execl(argv[1], argv[1], "--port", "0", "--workers", "2", "--queue", "8",
+          static_cast<char*>(nullptr));
+    std::perror("execl");
+    _exit(127);
+  }
+  close(pipefd[1]);
+
+  // Parse "vbsrm_serve listening on http://127.0.0.1:PORT" from stdout.
+  std::string banner;
+  int port = 0;
+  char c;
+  while (port == 0 && read(pipefd[0], &c, 1) == 1) {
+    banner.push_back(c);
+    if (c != '\n') continue;
+    const size_t at = banner.find("listening on http://127.0.0.1:");
+    if (at != std::string::npos) {
+      port = std::atoi(banner.c_str() + at + 30);
+    }
+    banner.clear();
+  }
+  if (port == 0) die("never saw the listening banner");
+  std::printf("ok: daemon up on port %d\n", port);
+
+  // --- drive it -----------------------------------------------------------
+  const std::string estimate_body =
+      R"({"method":"vb2","alpha0":1.0,)"
+      R"("data":{"type":"failure_times","times":[5,12,25,40,60],)"
+      R"("observation_end":100},)"
+      R"("priors":{"omega":{"mean":20,"sd":10},"beta":{"mean":0.01,"sd":0.005}},)"
+      R"("level":0.99,"reliability_windows":[10]})";
+
+  const std::string health = http(port, request_for("GET", "/healthz", ""));
+  expect(status_of(health) == 200, "GET /healthz -> 200");
+
+  const std::string methods = http(port, request_for("GET", "/v1/methods", ""));
+  expect(status_of(methods) == 200 &&
+             body_of(methods).find("\"vb2\"") != std::string::npos,
+         "GET /v1/methods lists vb2");
+
+  const std::string first =
+      http(port, request_for("POST", "/v1/estimate", estimate_body));
+  expect(status_of(first) == 200, "POST /v1/estimate -> 200");
+  expect(has_header(first, "X-Cache: miss"), "first estimate is a cache miss");
+  expect(body_of(first).find("\"mean_omega\"") != std::string::npos,
+         "estimate body has posterior moments");
+
+  const std::string second =
+      http(port, request_for("POST", "/v1/estimate", estimate_body));
+  expect(status_of(second) == 200, "second POST /v1/estimate -> 200");
+  expect(has_header(second, "X-Cache: hit"), "second estimate is a cache hit");
+  expect(body_of(second) == body_of(first),
+         "cache hit body is byte-identical to the miss");
+
+  const std::string bad =
+      http(port, request_for("POST", "/v1/estimate", "this is not json"));
+  expect(status_of(bad) == 400, "malformed body -> 400");
+
+  const std::string metrics = http(port, request_for("GET", "/metrics", ""));
+  expect(status_of(metrics) == 200, "GET /metrics -> 200");
+  const std::string mbody = body_of(metrics);
+  // The /metrics request itself is recorded after the snapshot, so the
+  // count covers the 5 requests before it.
+  expect(counter(mbody, "total") >= 5, "metrics: requests total >= 5");
+  expect(counter(mbody, "estimate") >= 3, "metrics: estimate requests >= 3");
+  expect(counter(mbody, "hits") >= 1, "metrics: cache hits >= 1");
+  expect(counter(mbody, "misses") >= 1, "metrics: cache misses >= 1");
+  expect(counter(mbody, "workers") >= 1, "metrics: worker pool reported");
+
+  // --- clean shutdown on SIGTERM ------------------------------------------
+  if (kill(g_child, SIGTERM) != 0) die("kill(SIGTERM) failed");
+  int wstatus = 0;
+  if (waitpid(g_child, &wstatus, 0) != g_child) die("waitpid() failed");
+  const pid_t child = g_child;
+  g_child = -1;
+  (void)child;
+  expect(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0,
+         "daemon exited 0 on SIGTERM");
+
+  std::string tail;
+  char tbuf[4096];
+  ssize_t n;
+  while ((n = read(pipefd[0], tbuf, sizeof(tbuf))) > 0) {
+    tail.append(tbuf, static_cast<size_t>(n));
+  }
+  close(pipefd[0]);
+  expect(tail.find("drained") != std::string::npos,
+         "daemon drained before exiting");
+
+  std::printf("serve_smoke_client: PASS\n");
+  return 0;
+}

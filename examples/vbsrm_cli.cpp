@@ -2,7 +2,7 @@
 //
 //   vbsrm_cli fit      <times.csv> <t_e> [--alpha0 A] [--prior-omega M SD]
 //                                        [--prior-beta M SD] [--level L]
-//                                        [--method NAME]
+//                                        [--method NAME] [--json]
 //   vbsrm_cli grouped  <counts.csv>      [same options]
 //   vbsrm_cli predict  <times.csv> <t_e> <u> [same options]
 //   vbsrm_cli compare  <times.csv> <t_e>
@@ -13,7 +13,9 @@
 // registered posterior approximation (vbsrm_cli methods lists them;
 // default vb2).  CSV formats: `fit`/`predict` read one failure time per
 // line ('#' comments allowed); `grouped` reads "boundary,count" lines.
-// Without --prior-* options, flat priors are used.
+// Without --prior-* options, flat priors are used.  --json switches
+// fit/grouped/predict to the serving layer's response schema (the same
+// document POST /v1/estimate returns), emitted via serve::json.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +35,8 @@
 #include "nhpp/families.hpp"
 #include "nhpp/fit.hpp"
 #include "nhpp/trend.hpp"
+#include "serve/json.hpp"
+#include "serve/service.hpp"
 
 using namespace vbsrm;
 
@@ -42,6 +46,7 @@ struct Options {
   double alpha0 = 1.0;
   double level = 0.99;
   std::string method = "vb2";
+  bool json = false;
   std::optional<std::pair<double, double>> prior_omega;
   std::optional<std::pair<double, double>> prior_beta;
 };
@@ -55,7 +60,7 @@ struct Options {
                "       vbsrm_cli methods\n"
                "       vbsrm_cli demo\n"
                "options: --alpha0 A --prior-omega MEAN SD --prior-beta MEAN "
-               "SD --level L --method NAME\n");
+               "SD --level L --method NAME --json\n");
   std::exit(2);
 }
 
@@ -75,6 +80,8 @@ Options parse_options(int argc, char** argv, int first) {
     } else if (a == "--method") {
       need(1);
       o.method = argv[++i];
+    } else if (a == "--json") {
+      o.json = true;
     } else if (a == "--prior-omega") {
       need(2);
       const double m = std::atof(argv[++i]);
@@ -121,6 +128,17 @@ data::FailureTimeData load_times(const char* path, double te) {
   return data::FailureTimeData::from_csv(in, te);
 }
 
+/// --json output: the serving layer's /v1/estimate schema, so scripted
+/// consumers can treat CLI and server responses interchangeably.
+int report_json(const engine::Estimator& est, const Options& o,
+                std::vector<double> windows = {}) {
+  const serve::EstimateQuery query{o.method, o.level, std::move(windows)};
+  std::printf("%s\n",
+              serve::json::write(serve::estimate_response(est, query), 2)
+                  .c_str());
+  return 0;
+}
+
 void report_estimator(const engine::Estimator& est, double level) {
   const auto s = est.summarize();
   const auto io = est.interval_omega(level);
@@ -149,13 +167,14 @@ int cmd_fit(int argc, char** argv) {
   if (argc < 4) usage();
   const auto opts = parse_options(argc, argv, 4);
   const auto dt = load_times(argv[2], std::atof(argv[3]));
+  const engine::EstimatorRequest req(opts.alpha0, dt, priors_from(opts));
+  if (opts.json) return report_json(*engine::make(opts.method, req), opts);
   std::printf("loaded %zu failure times on (0, %g]\n", dt.count(),
               dt.observation_end());
   if (dt.count() >= 2) {
     std::printf("Laplace trend   : %.2f (negative = reliability growth)\n",
                 nhpp::laplace_trend(dt));
   }
-  const engine::EstimatorRequest req(opts.alpha0, dt, priors_from(opts));
   report_estimator(*engine::make(opts.method, req), opts.level);
   return 0;
 }
@@ -169,9 +188,10 @@ int cmd_grouped(int argc, char** argv) {
     return 1;
   }
   const auto dg = data::GroupedData::from_csv(in);
+  const engine::EstimatorRequest req(opts.alpha0, dg, priors_from(opts));
+  if (opts.json) return report_json(*engine::make(opts.method, req), opts);
   std::printf("loaded %zu failures over %zu intervals ending at %g\n",
               dg.total_failures(), dg.intervals(), dg.observation_end());
-  const engine::EstimatorRequest req(opts.alpha0, dg, priors_from(opts));
   report_estimator(*engine::make(opts.method, req), opts.level);
   return 0;
 }
@@ -183,6 +203,7 @@ int cmd_predict(int argc, char** argv) {
   const double u = std::atof(argv[4]);
   const engine::EstimatorRequest req(opts.alpha0, dt, priors_from(opts));
   const auto est = engine::make(opts.method, req);
+  if (opts.json) return report_json(*est, opts, {u});
   const auto r = est->reliability(u, opts.level);
   std::printf("R(te+%g | te) = %.4f, %.0f%% interval [%.4f, %.4f]\n", u,
               r.point, 100 * opts.level, r.lower, r.upper);
@@ -236,11 +257,19 @@ int cmd_demo() {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
-  if (cmd == "fit") return cmd_fit(argc, argv);
-  if (cmd == "grouped") return cmd_grouped(argc, argv);
-  if (cmd == "predict") return cmd_predict(argc, argv);
-  if (cmd == "compare") return cmd_compare(argc, argv);
-  if (cmd == "methods") return cmd_methods();
-  if (cmd == "demo") return cmd_demo();
+  try {
+    if (cmd == "fit") return cmd_fit(argc, argv);
+    if (cmd == "grouped") return cmd_grouped(argc, argv);
+    if (cmd == "predict") return cmd_predict(argc, argv);
+    if (cmd == "compare") return cmd_compare(argc, argv);
+    if (cmd == "methods") return cmd_methods();
+    if (cmd == "demo") return cmd_demo();
+  } catch (const data::DataError& e) {
+    std::fprintf(stderr, "vbsrm_cli: bad input data: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vbsrm_cli: %s\n", e.what());
+    return 1;
+  }
   usage();
 }

@@ -11,16 +11,17 @@ namespace vbsrm::data {
 FailureTimeData::FailureTimeData(std::vector<double> times,
                                  double observation_end)
     : times_(std::move(times)), te_(observation_end) {
-  if (!(te_ > 0.0)) {
-    throw std::invalid_argument("FailureTimeData: observation_end must be > 0");
+  if (!(te_ > 0.0) || !std::isfinite(te_)) {
+    throw DataValidationError(
+        "FailureTimeData: observation_end must be finite, > 0");
   }
   std::sort(times_.begin(), times_.end());
   for (double t : times_) {
     if (!(t > 0.0) || !std::isfinite(t)) {
-      throw std::invalid_argument("FailureTimeData: times must be finite, > 0");
+      throw DataValidationError("FailureTimeData: times must be finite, > 0");
     }
     if (t > te_) {
-      throw std::invalid_argument(
+      throw DataValidationError(
           "FailureTimeData: failure time beyond observation_end");
     }
   }
@@ -55,12 +56,34 @@ FailureTimeData FailureTimeData::from_csv(std::istream& in,
                                           double observation_end) {
   std::vector<double> times;
   std::string line;
+  std::size_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos) continue;
     std::istringstream ls(line);
     double t;
-    if (ls >> t) times.push_back(t);
+    if (!(ls >> t)) {
+      throw DataFormatError("FailureTimeData::from_csv: line " +
+                            std::to_string(lineno) + " is not a number: " +
+                            line);
+    }
+    ls >> std::ws;
+    if (!ls.eof()) {
+      throw DataFormatError("FailureTimeData::from_csv: trailing junk on line " +
+                            std::to_string(lineno) + ": " + line);
+    }
+    if (!times.empty() && t < times.back()) {
+      throw DataFormatError(
+          "FailureTimeData::from_csv: non-monotone failure time on line " +
+          std::to_string(lineno) + " (" + std::to_string(t) + " after " +
+          std::to_string(times.back()) + ")");
+    }
+    times.push_back(t);
+  }
+  if (times.empty()) {
+    throw DataFormatError("FailureTimeData::from_csv: no failure times found");
   }
   return FailureTimeData(std::move(times), observation_end);
 }
@@ -76,12 +99,12 @@ GroupedData::GroupedData(std::vector<double> boundaries,
                          std::vector<std::size_t> counts)
     : bounds_(std::move(boundaries)), counts_(std::move(counts)) {
   if (bounds_.empty() || bounds_.size() != counts_.size()) {
-    throw std::invalid_argument("GroupedData: boundaries/counts mismatch");
+    throw DataValidationError("GroupedData: boundaries/counts mismatch");
   }
   double prev = 0.0;
   for (double b : bounds_) {
     if (!(b > prev) || !std::isfinite(b)) {
-      throw std::invalid_argument(
+      throw DataValidationError(
           "GroupedData: boundaries must be finite, strictly increasing, > 0");
     }
     prev = b;
@@ -102,7 +125,9 @@ GroupedData GroupedData::from_csv(std::istream& in) {
   std::vector<double> bounds;
   std::vector<std::size_t> counts;
   std::string line;
+  std::size_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     if (line.find_first_not_of(" \t\r\n") == std::string::npos) continue;
@@ -110,11 +135,24 @@ GroupedData GroupedData::from_csv(std::istream& in) {
     double b;
     char comma;
     long long c;
-    if (!(ls >> b >> comma >> c) || comma != ',' || c < 0) {
-      throw std::invalid_argument("GroupedData::from_csv: bad line: " + line);
+    if (!(ls >> b >> comma >> c) || comma != ',') {
+      throw DataFormatError("GroupedData::from_csv: bad line " +
+                            std::to_string(lineno) + ": " + line);
+    }
+    if (c < 0) {
+      throw DataFormatError("GroupedData::from_csv: negative count on line " +
+                            std::to_string(lineno) + ": " + line);
+    }
+    ls >> std::ws;
+    if (!ls.eof()) {
+      throw DataFormatError("GroupedData::from_csv: trailing junk on line " +
+                            std::to_string(lineno) + ": " + line);
     }
     bounds.push_back(b);
     counts.push_back(static_cast<std::size_t>(c));
+  }
+  if (bounds.empty()) {
+    throw DataFormatError("GroupedData::from_csv: no intervals found");
   }
   return GroupedData(std::move(bounds), std::move(counts));
 }

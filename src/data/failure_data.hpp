@@ -9,10 +9,35 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace vbsrm::data {
+
+/// Root of the typed data-error hierarchy.  Derives from
+/// std::invalid_argument so pre-existing catch sites keep working; the
+/// serving layer maps any DataError to 400 Bad Request instead of a
+/// crash or a 500.
+class DataError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Malformed input text: unparseable line, trailing junk after a
+/// value, an empty file, negative counts, or out-of-order records.
+class DataFormatError : public DataError {
+ public:
+  using DataError::DataError;
+};
+
+/// Structurally valid input whose values break a model invariant:
+/// nonpositive or non-finite times, a failure beyond the observation
+/// horizon, non-increasing interval boundaries.
+class DataValidationError : public DataError {
+ public:
+  using DataError::DataError;
+};
 
 /// Exact failure times observed during (0, t_e].  Invariants enforced at
 /// construction: times strictly positive, nondecreasing is upgraded to
@@ -39,6 +64,9 @@ class FailureTimeData {
   class GroupedData to_grouped(const std::vector<double>& boundaries) const;
 
   /// Parse "time per line" text (comments with '#', blank lines ok).
+  /// Strict: rejects unparseable lines and trailing junk, files with
+  /// no data, and out-of-order (non-monotone) times with
+  /// DataFormatError; value violations raise DataValidationError.
   static FailureTimeData from_csv(std::istream& in, double observation_end);
   std::string to_csv() const;
 
@@ -66,7 +94,10 @@ class GroupedData {
   /// Cumulative failure counts after each interval.
   std::vector<std::size_t> cumulative() const;
 
-  /// Parse "boundary,count" CSV lines.
+  /// Parse "boundary,count" CSV lines.  Strict: rejects unparseable
+  /// lines, trailing junk, negative counts, and empty files with
+  /// DataFormatError; non-increasing boundaries raise
+  /// DataValidationError.
   static GroupedData from_csv(std::istream& in);
   std::string to_csv() const;
 

@@ -25,6 +25,11 @@ BatchRunner::BatchRunner(unsigned threads) : threads_(threads) {
 }
 
 std::vector<EstimationReport> BatchRunner::run(const BatchSpec& spec) const {
+  return run(spec, nullptr);
+}
+
+std::vector<EstimationReport> BatchRunner::run(
+    const BatchSpec& spec, const std::atomic<bool>* cancel) const {
   const std::size_t n_methods = spec.methods.size();
   const std::size_t n_requests = spec.requests.size();
   const std::size_t n_levels = spec.levels.size();
@@ -40,6 +45,17 @@ std::vector<EstimationReport> BatchRunner::run(const BatchSpec& spec) const {
     const std::size_t mi = cell / n_requests;
     const std::size_t ri = cell % n_requests;
     const std::string& method = spec.methods[mi];
+
+    if (cancel != nullptr && cancel->load()) {
+      for (std::size_t li = 0; li < n_levels; ++li) {
+        EstimationReport& out = reports[cell * n_levels + li];
+        out.method = method;
+        out.request_index = ri;
+        out.level = spec.levels[li];
+        out.error = "canceled";
+      }
+      return;
+    }
 
     EstimatorRequest req = spec.requests[ri];
     if (spec.mcmc_seed_base != 0) {

@@ -15,6 +15,7 @@
 // a serial run and to any other thread count.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -65,6 +66,14 @@ class BatchRunner {
   /// Evaluate the grid; report order is deterministic (methods-major,
   /// then requests, then levels) and independent of the thread count.
   std::vector<EstimationReport> run(const BatchSpec& spec) const;
+
+  /// Cancellable variant for callers with deadlines (the serving
+  /// layer): cells that have not started when `*cancel` becomes true
+  /// are skipped and reported as `ok == false, error == "canceled"`;
+  /// cells already fitting run to completion.  `cancel == nullptr`
+  /// behaves exactly like run(spec).
+  std::vector<EstimationReport> run(const BatchSpec& spec,
+                                    const std::atomic<bool>* cancel) const;
 
  private:
   unsigned threads_;

@@ -39,6 +39,13 @@ Registry& registry() {
   return r;
 }
 
+std::vector<std::string> names_locked(const Registry& r) {
+  std::vector<std::string> names;
+  names.reserve(r.factories.size());
+  for (const auto& [name, factory] : r.factories) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
 }  // namespace
 
 bool register_method(const std::string& name, EstimatorFactory factory) {
@@ -54,14 +61,13 @@ bool is_registered(std::string_view name) {
   return r.factories.count(lowered(name)) != 0;
 }
 
-std::vector<std::string> method_names() {
+std::vector<std::string> registered_methods() {
   Registry& r = registry();
   const std::lock_guard<std::mutex> lock(r.mutex);
-  std::vector<std::string> names;
-  names.reserve(r.factories.size());
-  for (const auto& [name, factory] : r.factories) names.push_back(name);
-  return names;  // std::map iteration is already sorted
+  return names_locked(r);
 }
+
+std::vector<std::string> method_names() { return registered_methods(); }
 
 std::unique_ptr<Estimator> make(std::string_view name,
                                 const EstimatorRequest& req) {
@@ -74,7 +80,7 @@ std::unique_ptr<Estimator> make(std::string_view name,
       std::ostringstream msg;
       msg << "engine::make: unknown method \"" << std::string(name)
           << "\"; registered:";
-      for (const auto& [known, f] : r.factories) msg << ' ' << known;
+      for (const auto& known : names_locked(r)) msg << ' ' << known;
       throw std::invalid_argument(msg.str());
     }
     factory = it->second;

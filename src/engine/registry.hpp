@@ -31,7 +31,12 @@ bool register_method(const std::string& name, EstimatorFactory factory);
 bool is_registered(std::string_view name);
 
 /// Registered method names, sorted ("laplace", "mcmc", "nint", "vb1",
-/// "vb2" plus any user registrations).
+/// "vb2" plus any user registrations).  The single source of truth for
+/// method enumeration: the serving layer's GET /v1/methods and the
+/// unknown-method error message of engine::make both read from here.
+std::vector<std::string> registered_methods();
+
+/// Back-compat alias for registered_methods().
 std::vector<std::string> method_names();
 
 /// Construct-and-fit the named estimator on the request.  Construction

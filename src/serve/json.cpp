@@ -1,0 +1,413 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vbsrm::serve::json {
+
+// --- Value accessors -------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void type_mismatch(const char* wanted) {
+  throw std::logic_error(std::string("json::Value: not a ") + wanted);
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (type_ != Type::Bool) type_mismatch("bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (type_ != Type::Number) type_mismatch("number");
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::String) type_mismatch("string");
+  return str_;
+}
+
+const std::vector<Value>& Value::items() const {
+  if (type_ != Type::Array) type_mismatch("array");
+  return arr_;
+}
+
+const std::vector<Member>& Value::members() const {
+  if (type_ != Type::Object) type_mismatch("object");
+  return obj_;
+}
+
+void Value::push_back(Value v) {
+  if (type_ != Type::Array) type_mismatch("array");
+  arr_.push_back(std::move(v));
+}
+
+std::size_t Value::size() const {
+  if (type_ == Type::Array) return arr_.size();
+  if (type_ == Type::Object) return obj_.size();
+  type_mismatch("array or object");
+}
+
+Value& Value::operator[](std::string_view key) {
+  if (type_ != Type::Object) type_mismatch("object");
+  for (Member& m : obj_) {
+    if (m.first == key) return m.second;
+  }
+  obj_.emplace_back(std::string(key), Value());
+  return obj_.back().second;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (type_ != Type::Object) type_mismatch("object");
+  for (const Member& m : obj_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+// --- parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Value run() {
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("json: " + what, pos_);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  char take() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      fail("invalid literal");
+    }
+    pos_ += lit.size();
+  }
+
+  Value parse_value(int depth) {
+    if (depth > max_depth_) fail("nesting too deep");
+    skip_ws();
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Value(parse_string());
+      case 't':
+        expect_literal("true");
+        return Value(true);
+      case 'f':
+        expect_literal("false");
+        return Value(false);
+      case 'n':
+        expect_literal("null");
+        return Value(nullptr);
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    ++pos_;  // '{'
+    Value obj = Value::object();
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      if (take() != ':') fail("expected ':' after object key");
+      obj[key] = parse_value(depth + 1);
+      skip_ws();
+      const char c = take();
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array(int depth) {
+    ++pos_;  // '['
+    Value arr = Value::array();
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = take();
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening '"'
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') return out;
+      if (c < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            if (take() != '\\' || take() != 'u') fail("lone high surrogate");
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("unknown escape sequence");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad \\u escape digit");
+    }
+    return v;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      pos_ = start;
+      fail("invalid value");
+    }
+    if (peek() == '0') {
+      ++pos_;  // leading zero must stand alone
+      if (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("leading zero in number");
+      }
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit required after decimal point");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit required in exponent");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    double d = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [p, ec] = std::from_chars(first, last, d);
+    if (ec == std::errc::result_out_of_range) {
+      // Underflow collapses toward zero (keep it); overflow has no
+      // finite double and the writer could not round-trip it — reject.
+      const std::string tmp(first, last);
+      d = std::strtod(tmp.c_str(), nullptr);
+      if (!std::isfinite(d)) fail("number out of double range");
+    } else if (ec != std::errc() || p != last) {
+      fail("unparseable number");
+    }
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int max_depth_;
+};
+
+}  // namespace
+
+Value parse(std::string_view text, int max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+// --- writer ----------------------------------------------------------------
+
+std::string write_number(double d) {
+  if (!std::isfinite(d)) return "null";
+  char buf[32];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  (void)ec;  // 32 bytes always suffice for shortest round-trip doubles
+  return std::string(buf, p);
+}
+
+namespace {
+
+void write_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void write_value(std::string& out, const Value& v, int indent, int depth) {
+  const bool pretty = indent >= 0;
+  auto newline = [&](int d) {
+    if (!pretty) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.type()) {
+    case Value::Type::Null:
+      out += "null";
+      break;
+    case Value::Type::Bool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Value::Type::Number:
+      out += write_number(v.as_number());
+      break;
+    case Value::Type::String:
+      write_string(out, v.as_string());
+      break;
+    case Value::Type::Array: {
+      const auto& items = v.items();
+      if (items.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i) out.push_back(',');
+        newline(depth + 1);
+        write_value(out, items[i], indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Value::Type::Object: {
+      const auto& members = v.members();
+      if (members.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i) out.push_back(',');
+        newline(depth + 1);
+        write_string(out, members[i].first);
+        out.push_back(':');
+        if (pretty) out.push_back(' ');
+        write_value(out, members[i].second, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string write(const Value& v, int indent) {
+  std::string out;
+  write_value(out, v, indent, 0);
+  return out;
+}
+
+}  // namespace vbsrm::serve::json

@@ -1,0 +1,121 @@
+// Minimal JSON for the estimation service (and the CLI's --json mode).
+//
+// One value type, one recursive-descent parser, one writer — no external
+// dependencies.  Two properties the service depends on:
+//
+//   * Number fidelity: doubles are written with std::to_chars (shortest
+//     representation that round-trips), so write(parse(write(x))) is
+//     byte-stable and parse(write(x)) == x bit-for-bit.  This is what
+//     makes cached responses byte-identical to freshly computed ones.
+//   * Deterministic output: objects preserve insertion order and the
+//     writer adds no incidental whitespace (unless asked to indent), so
+//     the same Value always serializes to the same bytes — the property
+//     the content-addressed result cache keys on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <type_traits>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vbsrm::serve::json {
+
+/// Thrown by parse(); `offset` is the byte position of the error.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what), offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class Value;
+using Member = std::pair<std::string, Value>;
+
+/// A JSON document node: null, bool, number (double), string, array, or
+/// object (insertion-ordered).
+class Value {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Value() : type_(Type::Null) {}
+  Value(std::nullptr_t) : type_(Type::Null) {}
+  Value(bool b) : type_(Type::Bool), bool_(b) {}
+  Value(double d) : type_(Type::Number), num_(d) {}
+  /// Any non-bool integer type; avoids an overload set that collides
+  /// on platforms where size_t aliases one of the fixed-width types.
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  Value(T i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Value(const char* s) : type_(Type::String), str_(s) {}
+  Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Value(std::string_view s) : type_(Type::String), str_(s) {}
+
+  static Value array() {
+    Value v;
+    v.type_ = Type::Array;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.type_ = Type::Object;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  // Typed accessors; throw std::logic_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& items() const;
+  const std::vector<Member>& members() const;
+
+  // --- array building ---
+  void push_back(Value v);
+  std::size_t size() const;  // array/object element count
+
+  // --- object building / lookup ---
+  /// Insert-or-get a member (object only); keeps insertion order.
+  Value& operator[](std::string_view key);
+  /// Pointer to the member value, or nullptr when absent (object only).
+  const Value* find(std::string_view key) const;
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<Member> obj_;
+};
+
+/// Parse a complete JSON document.  Rejects trailing garbage, unknown
+/// escapes, control characters in strings, non-finite literals, and
+/// nesting deeper than `max_depth`.  Throws ParseError.
+Value parse(std::string_view text, int max_depth = 64);
+
+/// Serialize.  `indent < 0` gives the compact canonical form (no
+/// whitespace); `indent >= 0` pretty-prints with that many spaces per
+/// level.  Non-finite numbers serialize as null (JSON has no NaN/Inf).
+std::string write(const Value& v, int indent = -1);
+
+/// The writer's number formatting, exposed for tests: shortest
+/// round-trip decimal form via std::to_chars ("null" for non-finite).
+std::string write_number(double d);
+
+}  // namespace vbsrm::serve::json

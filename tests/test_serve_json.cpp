@@ -1,0 +1,203 @@
+// serve::json: round-trip fidelity, strict rejection of malformed
+// input, and the bit-exact number formatting the result cache's
+// byte-identity guarantee rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace json = vbsrm::serve::json;
+
+namespace {
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+TEST(ServeJson, RoundTripComposite) {
+  json::Value doc = json::Value::object();
+  doc["name"] = "vb2";
+  doc["count"] = 42;
+  doc["ratio"] = 0.1;
+  doc["flag"] = true;
+  doc["nothing"] = nullptr;
+  json::Value arr = json::Value::array();
+  arr.push_back(1.5);
+  arr.push_back("two");
+  arr.push_back(false);
+  doc["items"] = std::move(arr);
+  json::Value nested = json::Value::object();
+  nested["lower"] = 1e-3;
+  nested["upper"] = 1e3;
+  doc["interval"] = std::move(nested);
+
+  const std::string compact = json::write(doc);
+  const json::Value reparsed = json::parse(compact);
+  EXPECT_EQ(json::write(reparsed), compact) << compact;
+
+  // Pretty output parses back to the same document.
+  const std::string pretty = json::write(doc, 2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(json::write(json::parse(pretty)), compact);
+}
+
+TEST(ServeJson, ObjectsPreserveInsertionOrder) {
+  json::Value doc = json::Value::object();
+  doc["zebra"] = 1;
+  doc["apple"] = 2;
+  doc["mango"] = 3;
+  EXPECT_EQ(json::write(doc), R"({"zebra":1,"apple":2,"mango":3})");
+
+  // operator[] on an existing key is get, not re-insert.
+  doc["apple"] = 7;
+  EXPECT_EQ(json::write(doc), R"({"zebra":1,"apple":7,"mango":3})");
+  EXPECT_EQ(doc.size(), 3u);
+
+  ASSERT_NE(doc.find("mango"), nullptr);
+  EXPECT_EQ(doc.find("mango")->as_number(), 3.0);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+  EXPECT_TRUE(doc.contains("zebra"));
+  EXPECT_FALSE(doc.contains("absent"));
+}
+
+TEST(ServeJson, NumberFidelityBitExact) {
+  const double cases[] = {
+      0.1,
+      1.0 / 3.0,
+      -0.0,
+      1e308,                                   // near overflow
+      5e-324,                                  // smallest subnormal
+      2.2250738585072014e-308,                 // smallest normal
+      std::numeric_limits<double>::max(),
+      12345.6789,
+      -1.0000000000000002,                     // 1 ulp above -1
+      6.02214076e23,
+      1e-15,
+  };
+  for (const double x : cases) {
+    const std::string text = json::write_number(x);
+    const json::Value v = json::parse(text);
+    ASSERT_TRUE(v.is_number()) << text;
+    EXPECT_EQ(bits_of(v.as_number()), bits_of(x))
+        << "wrote " << text << " for " << x;
+    // Writing is a fixed point: same bytes again.
+    EXPECT_EQ(json::write_number(v.as_number()), text);
+  }
+}
+
+TEST(ServeJson, NonFiniteSerializesAsNull) {
+  EXPECT_EQ(json::write_number(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(json::write_number(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(json::write_number(-std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+TEST(ServeJson, StringEscapesDecode) {
+  const json::Value v =
+      json::parse(R"("a\nb\t\"\\\/\u0041\u00e9")");
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "a\nb\t\"\\/A\xC3\xA9");
+}
+
+TEST(ServeJson, SurrogatePairDecodesToUtf8) {
+  const json::Value v = json::parse(R"("\ud83d\ude00")");
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "\xF0\x9F\x98\x80");  // U+1F600
+}
+
+TEST(ServeJson, WriterEscapesControlCharacters) {
+  const json::Value v(std::string("a\nb\x01"));
+  EXPECT_EQ(json::write(v), R"("a\nb\u0001")");
+  // And the escaped form round-trips.
+  EXPECT_EQ(json::parse(json::write(v)).as_string(), v.as_string());
+}
+
+TEST(ServeJson, MalformedInputsRejected) {
+  const char* bad[] = {
+      "",
+      "{",
+      "[1,]",
+      R"({"a":1,})",
+      R"({"a" 1})",
+      R"({1:2})",
+      "01",
+      "1.",
+      ".5",
+      "+1",
+      "- 1",
+      "1e",
+      "nul",
+      "tru",
+      "falze",
+      "nan",
+      "Infinity",
+      "1e999",           // overflows double
+      "\"abc",           // unterminated string
+      "\"\\x\"",         // unknown escape
+      "\"\t\"",          // raw control character
+      "\"\\ud800\"",     // lone high surrogate
+      "\"\\u12\"",       // truncated \u
+      "1 2",             // trailing garbage
+      "{} []",
+      "[1] x",
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(json::parse(text), json::ParseError) << "accepted: " << text;
+  }
+}
+
+TEST(ServeJson, ParseErrorCarriesOffset) {
+  try {
+    json::parse("[1, 2, x]");
+    FAIL() << "expected ParseError";
+  } catch (const json::ParseError& e) {
+    EXPECT_EQ(e.offset(), 7u);
+  }
+}
+
+TEST(ServeJson, DepthCapEnforced) {
+  const auto nested = [](int n) {
+    return std::string(static_cast<std::size_t>(n), '[') +
+           std::string(static_cast<std::size_t>(n), ']');
+  };
+  EXPECT_NO_THROW(json::parse(nested(10)));
+  EXPECT_THROW(json::parse(nested(100)), json::ParseError);
+  // Custom cap: the root sits at depth 0, so `max_depth` n admits n+1
+  // nested brackets and rejects n+2.
+  EXPECT_NO_THROW(json::parse(nested(5), 4));
+  EXPECT_THROW(json::parse(nested(6), 4), json::ParseError);
+}
+
+TEST(ServeJson, TypeMismatchesThrowLogicError) {
+  const json::Value num(1.0);
+  EXPECT_THROW(num.as_string(), std::logic_error);
+  EXPECT_THROW(num.as_bool(), std::logic_error);
+  EXPECT_THROW(num.items(), std::logic_error);
+  EXPECT_THROW(num.members(), std::logic_error);
+
+  json::Value str("hi");
+  EXPECT_THROW(str.as_number(), std::logic_error);
+  EXPECT_THROW(str["key"], std::logic_error);
+  EXPECT_THROW(str.push_back(json::Value(1.0)), std::logic_error);
+}
+
+TEST(ServeJson, UnderflowKeptOverflowRejected) {
+  // Sub-minimal magnitudes collapse toward zero instead of erroring...
+  const json::Value tiny = json::parse("1e-400");
+  ASSERT_TRUE(tiny.is_number());
+  EXPECT_EQ(tiny.as_number(), 0.0);
+  // ...but values beyond double range are a hard parse error, because
+  // silently clamping to infinity would poison downstream arithmetic.
+  EXPECT_THROW(json::parse("1e309"), json::ParseError);
+}
+
+}  // namespace
