@@ -2,6 +2,12 @@
 // compute the cross-chain potential scale reduction factor (R-hat,
 // Gelman-Rubin), and pool the draws.  Production users should not trust
 // a single chain; this wraps the discipline up.
+//
+// Chains are embarrassingly parallel: each one is seeded independently
+// (splitmix of the base seed and the chain index) and writes its result
+// into a preassigned slot, so running with `threads > 1` is
+// bit-identical to the serial run — the math::parallel_for determinism
+// contract.
 #pragma once
 
 #include <vector>
@@ -25,14 +31,18 @@ struct MultiChainResult {
 /// Cross-chain R-hat for an arbitrary selector over equal-length chains.
 double cross_chain_rhat(const std::vector<std::vector<double>>& chains);
 
+/// `threads` bounds the worker pool running the chains (1 = serial,
+/// 0 = hardware concurrency); the result is identical for any value.
 MultiChainResult gibbs_failure_times_chains(int n_chains, double alpha0,
                                             const data::FailureTimeData& d,
                                             const PriorPair& priors,
-                                            const McmcOptions& base = {});
+                                            const McmcOptions& base = {},
+                                            unsigned threads = 1);
 
 MultiChainResult gibbs_grouped_chains(int n_chains, double alpha0,
                                       const data::GroupedData& d,
                                       const PriorPair& priors,
-                                      const McmcOptions& base = {});
+                                      const McmcOptions& base = {},
+                                      unsigned threads = 1);
 
 }  // namespace vbsrm::bayes

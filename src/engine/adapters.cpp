@@ -192,10 +192,12 @@ class McmcAdapter final : public Estimator {
             if constexpr (std::is_same_v<std::decay_t<decltype(d)>,
                                          data::GroupedData>) {
               return bayes::gibbs_grouped_chains(opt.chains, req.alpha0, d,
-                                                 req.priors, opt.base);
+                                                 req.priors, opt.base,
+                                                 opt.chain_threads);
             } else {
               return bayes::gibbs_failure_times_chains(
-                  opt.chains, req.alpha0, d, req.priors, opt.base);
+                  opt.chains, req.alpha0, d, req.priors, opt.base,
+                  opt.chain_threads);
             }
           },
           req.data);

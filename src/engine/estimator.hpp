@@ -58,6 +58,9 @@ struct McmcEngineOptions {
   bayes::McmcOptions base;
   int chains = 1;
   double rhat_threshold = 1.01;
+  /// Worker threads for multi-chain runs (1 = serial, 0 = hardware);
+  /// any value gives bit-identical pooled draws.
+  unsigned chain_threads = 1;
 };
 
 /// Everything needed to fit any method on any dataset: model family

@@ -4,10 +4,10 @@
 #include <cctype>
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <sstream>
 
 #include "engine/adapters.hpp"
+#include "math/thread_annotations.hpp"
 
 namespace vbsrm::engine {
 
@@ -22,10 +22,10 @@ std::string lowered(std::string_view name) {
 }
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, EstimatorFactory> factories;
+  math::Mutex mutex;
+  std::map<std::string, EstimatorFactory> factories GUARDED_BY(mutex);
 
-  Registry() {
+  Registry() NO_THREAD_SAFETY_ANALYSIS {
     factories["vb2"] = adapters::make_vb2;
     factories["vb1"] = adapters::make_vb1;
     factories["nint"] = adapters::make_nint;
@@ -39,7 +39,8 @@ Registry& registry() {
   return r;
 }
 
-std::vector<std::string> names_locked(const Registry& r) {
+std::vector<std::string> names_locked(const Registry& r)
+    REQUIRES(r.mutex) {
   std::vector<std::string> names;
   names.reserve(r.factories.size());
   for (const auto& [name, factory] : r.factories) names.push_back(name);
@@ -51,19 +52,19 @@ std::vector<std::string> names_locked(const Registry& r) {
 bool register_method(const std::string& name, EstimatorFactory factory) {
   if (name.empty() || !factory) return false;
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const math::MutexLock lock(r.mutex);
   return r.factories.emplace(lowered(name), std::move(factory)).second;
 }
 
 bool is_registered(std::string_view name) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const math::MutexLock lock(r.mutex);
   return r.factories.count(lowered(name)) != 0;
 }
 
 std::vector<std::string> registered_methods() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const math::MutexLock lock(r.mutex);
   return names_locked(r);
 }
 
@@ -74,7 +75,7 @@ std::unique_ptr<Estimator> make(std::string_view name,
   EstimatorFactory factory;
   {
     Registry& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const math::MutexLock lock(r.mutex);
     const auto it = r.factories.find(lowered(name));
     if (it == r.factories.end()) {
       std::ostringstream msg;

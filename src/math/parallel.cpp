@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "math/thread_annotations.hpp"
 
 namespace vbsrm::math {
 
@@ -26,14 +27,17 @@ void parallel_for(std::size_t n, unsigned threads,
   }
 
   std::atomic<std::size_t> next{0};
+  // first_error is written under error_mu by workers and read by the
+  // calling thread only after every worker has joined (GUARDED_BY is a
+  // member/global attribute, so the discipline is stated here instead).
+  Mutex error_mu;
   std::exception_ptr first_error;
-  std::mutex error_mu;
   auto drain = [&] {
     for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
       try {
         task(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
+        MutexLock lock(error_mu);
         if (!first_error) first_error = std::current_exception();
       }
     }

@@ -58,8 +58,7 @@ double GaussLegendre::integrate_composite(
 
 namespace {
 
-double simpson(const std::function<double(double)>& f, double a, double fa,
-               double b, double fb, double c, double fc) {
+double simpson(double a, double fa, double b, double fb, double fc) {
   return (b - a) / 6.0 * (fa + 4.0 * fc + fb);
 }
 
@@ -69,8 +68,8 @@ double adaptive_simpson_rec(const std::function<double(double)>& f, double a,
                             double rel_tol, int depth) {
   const double l = 0.5 * (a + c), r = 0.5 * (c + b);
   const double fl = f(l), fr = f(r);
-  const double left = simpson(f, a, fa, c, fc, l, fl);
-  const double right = simpson(f, c, fc, b, fb, r, fr);
+  const double left = simpson(a, fa, c, fc, fl);
+  const double right = simpson(c, fc, b, fb, fr);
   const double err = left + right - whole;
   const double tol = std::max(abs_tol, rel_tol * std::abs(left + right));
   if (depth <= 0 || std::abs(err) <= 15.0 * tol) {
@@ -89,7 +88,7 @@ double adaptive_simpson(const std::function<double(double)>& f, double a,
                         int max_depth) {
   const double c = 0.5 * (a + b);
   const double fa = f(a), fb = f(b), fc = f(c);
-  const double whole = simpson(f, a, fa, b, fb, c, fc);
+  const double whole = simpson(a, fa, b, fb, fc);
   return adaptive_simpson_rec(f, a, fa, b, fb, c, fc, whole, abs_tol, rel_tol,
                               max_depth);
 }

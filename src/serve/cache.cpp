@@ -30,7 +30,7 @@ ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
 std::optional<std::string> ResultCache::get(const std::string& key) {
   if (capacity_ == 0) return std::nullopt;
   Shard& s = shard_for(key);
-  const std::lock_guard<std::mutex> lock(s.mutex);
+  const math::MutexLock lock(s.mutex);
   const auto it = s.index.find(key);
   if (it == s.index.end()) {
     ++s.misses;
@@ -44,7 +44,7 @@ std::optional<std::string> ResultCache::get(const std::string& key) {
 void ResultCache::put(const std::string& key, std::string value) {
   if (capacity_ == 0) return;
   Shard& s = shard_for(key);
-  const std::lock_guard<std::mutex> lock(s.mutex);
+  const math::MutexLock lock(s.mutex);
   const auto it = s.index.find(key);
   if (it != s.index.end()) {
     it->second->value = std::move(value);
@@ -62,7 +62,7 @@ void ResultCache::put(const std::string& key, std::string value) {
 std::uint64_t ResultCache::hits() const {
   std::uint64_t n = 0;
   for (const Shard& s : shards_) {
-    const std::lock_guard<std::mutex> lock(s.mutex);
+    const math::MutexLock lock(s.mutex);
     n += s.hits;
   }
   return n;
@@ -71,7 +71,7 @@ std::uint64_t ResultCache::hits() const {
 std::uint64_t ResultCache::misses() const {
   std::uint64_t n = 0;
   for (const Shard& s : shards_) {
-    const std::lock_guard<std::mutex> lock(s.mutex);
+    const math::MutexLock lock(s.mutex);
     n += s.misses;
   }
   return n;
@@ -80,7 +80,7 @@ std::uint64_t ResultCache::misses() const {
 std::size_t ResultCache::size() const {
   std::size_t n = 0;
   for (const Shard& s : shards_) {
-    const std::lock_guard<std::mutex> lock(s.mutex);
+    const math::MutexLock lock(s.mutex);
     n += s.lru.size();
   }
   return n;

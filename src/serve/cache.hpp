@@ -12,12 +12,13 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "math/thread_annotations.hpp"
 
 namespace vbsrm::serve {
 
@@ -49,12 +50,13 @@ class ResultCache {
     std::string value;
   };
   struct Shard {
-    mutable std::mutex mutex;
-    std::list<Entry> lru;  // front = most recent
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::size_t capacity = 0;
+    mutable math::Mutex mutex;
+    std::list<Entry> lru GUARDED_BY(mutex);  // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        GUARDED_BY(mutex);
+    std::uint64_t hits GUARDED_BY(mutex) = 0;
+    std::uint64_t misses GUARDED_BY(mutex) = 0;
+    std::size_t capacity = 0;  // immutable after construction
   };
 
   Shard& shard_for(const std::string& key);

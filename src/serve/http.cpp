@@ -224,8 +224,10 @@ HttpServer::~HttpServer() {
 }
 
 void HttpServer::wait_for_connections() {
-  std::unique_lock<std::mutex> lock(shared_->mutex);
-  shared_->cv.wait(lock, [&] { return shared_->active == 0; });
+  Shared& sh = *shared_;
+  const math::MutexLock lock(sh.mutex);
+  sh.cv.wait(sh.mutex,
+             [&sh]() REQUIRES(sh.mutex) { return sh.active == 0; });
 }
 
 void HttpServer::run() {
@@ -248,7 +250,7 @@ void HttpServer::run() {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     {
-      const std::lock_guard<std::mutex> lock(shared_->mutex);
+      const math::MutexLock lock(shared_->mutex);
       ++shared_->active;
     }
     std::thread(&HttpServer::serve_connection, shared_, fd).detach();
@@ -323,7 +325,7 @@ void HttpServer::serve_connection(std::shared_ptr<Shared> shared, int fd) {
   }
   ::close(fd);
   {
-    const std::lock_guard<std::mutex> lock(shared->mutex);
+    const math::MutexLock lock(shared->mutex);
     --shared->active;
   }
   shared->cv.notify_all();

@@ -6,14 +6,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "math/thread_annotations.hpp"
 #include "serve/service.hpp"
 
 namespace vbsrm::serve {
@@ -87,9 +86,9 @@ class HttpServer {
     Service* service = nullptr;
     HttpServerOptions opt;
     std::atomic<bool> stop{false};
-    std::mutex mutex;
-    std::condition_variable cv;
-    int active = 0;  // live connection threads
+    math::Mutex mutex;
+    math::CondVar cv;
+    int active GUARDED_BY(mutex) = 0;  // live connection threads
   };
 
   static void serve_connection(std::shared_ptr<Shared> shared, int fd);

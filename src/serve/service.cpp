@@ -384,21 +384,27 @@ Service::~Service() { shutdown(); }
 
 void Service::shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    const math::MutexLock lock(queue_mutex_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
+  // Serialize the join: concurrent shutdown() calls (destructor vs. a
+  // signal-initiated drain) must not both call join() on one thread.
+  const math::MutexLock join_lock(join_mutex_);
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
+  workers_.clear();
 }
 
 void Service::worker_loop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      const math::MutexLock lock(queue_mutex_);
+      queue_cv_.wait(queue_mutex_, [this]() REQUIRES(queue_mutex_) {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stopping_ and fully drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -433,7 +439,7 @@ Response Service::submit_and_wait(
   std::future<Response> fut = job.promise.get_future();
   const std::shared_ptr<std::atomic<bool>> abandoned = job.abandoned;
   {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    const math::MutexLock lock(queue_mutex_);
     if (stopping_) {
       Response r = error_response(503, "service shutting down");
       r.headers.emplace_back("Retry-After", retry_after_value(opt_.retry_after_s));
@@ -703,7 +709,7 @@ Response Service::handle_metrics() {
 MetricsSnapshot Service::metrics_snapshot() const {
   MetricsSnapshot m;
   {
-    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    const math::MutexLock lock(metrics_mutex_);
     m = counters_;
     m.latency_count = latency_log10_.total();
     const double lo = latency_log10_.lo();
@@ -729,14 +735,14 @@ MetricsSnapshot Service::metrics_snapshot() const {
 }
 
 std::size_t Service::queue_depth() const {
-  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  const math::MutexLock lock(queue_mutex_);
   return queue_.size();
 }
 
 void Service::record(const Request& req, const Response& resp,
                      double elapsed_ms) {
   const std::string_view path = path_of(req.target);
-  const std::lock_guard<std::mutex> lock(metrics_mutex_);
+  const math::MutexLock lock(metrics_mutex_);
   ++counters_.requests_total;
   if (path == "/v1/estimate") ++counters_.estimate_requests;
   else if (path == "/v1/batch") ++counters_.batch_requests;

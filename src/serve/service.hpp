@@ -27,18 +27,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "engine/estimator.hpp"
+#include "math/thread_annotations.hpp"
 #include "serve/cache.hpp"
 #include "serve/json.hpp"
 #include "stats/histogram.hpp"
@@ -171,16 +170,23 @@ class Service {
   ServiceOptions opt_;
   ResultCache cache_;
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Job> queue_;
-  std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  mutable math::Mutex queue_mutex_;
+  math::CondVar queue_cv_;
+  std::deque<Job> queue_ GUARDED_BY(queue_mutex_);
+  bool stopping_ GUARDED_BY(queue_mutex_) = false;
   std::atomic<std::size_t> in_flight_{0};
 
-  mutable std::mutex metrics_mutex_;
-  MetricsSnapshot counters_;          // histogram fields unused here
-  stats::Histogram1D latency_log10_;  // log10(milliseconds)
+  // Joining is serialized by its own mutex so concurrent shutdown()
+  // calls (destructor racing a signal-handler drain) never both join
+  // the same std::thread.  Lock order: join_mutex_ is never taken with
+  // queue_mutex_ held, and workers only ever take queue_mutex_, so no
+  // cycle exists.
+  mutable math::Mutex join_mutex_;
+  std::vector<std::thread> workers_ GUARDED_BY(join_mutex_);
+
+  mutable math::Mutex metrics_mutex_;
+  MetricsSnapshot counters_ GUARDED_BY(metrics_mutex_);  // histogram unused
+  stats::Histogram1D latency_log10_ GUARDED_BY(metrics_mutex_);  // log10(ms)
 };
 
 }  // namespace vbsrm::serve

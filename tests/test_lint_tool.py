@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint/vbsrm_lint.py: every detector fires on a
+minimal positive example, stays quiet on the idiomatic negative, comments
+and strings never trigger, and the allowlist suppresses exactly what it
+names."""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINT = REPO / "tools" / "lint" / "vbsrm_lint.py"
+sys.path.insert(0, str(LINT.parent))
+
+import vbsrm_lint  # noqa: E402
+
+
+def run_lint(tree: dict, allowlist: str | None = None, extra_args=()):
+    """Materialize {relpath: content} under a temp src/ dir and lint it."""
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp) / "src"
+        for rel, content in tree.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content)
+        args = ["--root", str(root), "--project-root", tmp, "--json"]
+        if allowlist is None:
+            args.append("--no-allowlist")
+        else:
+            al = Path(tmp) / "allowlist.txt"
+            al.write_text(allowlist)
+            args += ["--allowlist", str(al)]
+        args += list(extra_args)
+        proc = subprocess.run(
+            [sys.executable, str(LINT), *args],
+            capture_output=True, text=True)
+        doc = json.loads(proc.stdout) if proc.stdout.strip() else {}
+        return proc.returncode, doc.get("findings", [])
+
+
+def rules_of(findings):
+    return sorted({f["rule"] for f in findings})
+
+
+GUARDED = "#pragma once\n"
+
+
+class DetectorTests(unittest.TestCase):
+    def test_clean_file_passes(self):
+        rc, findings = run_lint({
+            "core/ok.cpp": '#include "math/specfun.hpp"\n'
+                           "double f(double z) { return vbsrm::math::log_gamma(z); }\n"
+        })
+        self.assertEqual(rc, 0)
+        self.assertEqual(findings, [])
+
+    def test_specfun_wrapper(self):
+        rc, findings = run_lint({
+            "core/bad.cpp": "#include <cmath>\n"
+                            "double f(double z) { return std::lgamma(z); }\n"
+                            "double g(double z) { return tgamma(z); }\n"
+        })
+        self.assertEqual(rc, 1)
+        self.assertIn("specfun-wrapper", rules_of(findings))
+        self.assertEqual(
+            len([f for f in findings if f["rule"] == "specfun-wrapper"]), 2)
+
+    def test_specfun_wrapper_ignores_log_gamma(self):
+        rc, findings = run_lint({
+            "core/ok.cpp": "double f(double z) { return math::log_gamma(z); }\n"
+        })
+        self.assertEqual(rc, 0, findings)
+
+    def test_random_wrapper(self):
+        rc, findings = run_lint({
+            "core/bad.cpp": "#include <random>\n"
+                            "int f() { std::random_device rd; return rd(); }\n",
+            "core/bad2.cpp": "#include <random>\n"
+                             "std::mt19937 gen(42);\n",
+        })
+        self.assertEqual(rc, 1)
+        self.assertEqual(rules_of(findings), ["random-wrapper"])
+
+    def test_wall_clock_seed(self):
+        rc, findings = run_lint({
+            "core/bad.cpp": "#include <ctime>\n"
+                            "long f() { return time(NULL); }\n"
+                            "long g() { return time(nullptr); }\n"
+        })
+        self.assertEqual(rc, 1)
+        self.assertIn("wall-clock-seed", rules_of(findings))
+
+    def test_wall_clock_allows_named_functions(self):
+        rc, findings = run_lint({
+            "core/ok.cpp": "double f() { return wall_time(); }\n"
+                           "double g() { return d.observation_time(x); }\n"
+        })
+        self.assertEqual(rc, 0, findings)
+
+    def test_naked_exp_of_log_weight(self):
+        rc, findings = run_lint({
+            "core/bad.cpp": "double f(double log_w) {\n"
+                            "  return exp(log_w) + std::exp(log_weights[0]);\n"
+                            "}\n"
+        })
+        self.assertEqual(rc, 1)
+        self.assertEqual(
+            len([f for f in findings if f["rule"] == "naked-exp-log-weight"]),
+            2)
+
+    def test_exp_of_plain_argument_is_fine(self):
+        rc, findings = run_lint({
+            "core/ok.cpp": "double f(double x) { return std::exp(x); }\n"
+        })
+        self.assertEqual(rc, 0, findings)
+
+    def test_include_guard(self):
+        rc, findings = run_lint({
+            "core/bad.hpp": "int f();\n",
+            "core/pragma.hpp": "#pragma once\nint g();\n",
+            "core/classic.hpp": "#ifndef VBSRM_CORE_CLASSIC_HPP\n"
+                                "#define VBSRM_CORE_CLASSIC_HPP\n"
+                                "int h();\n#endif\n",
+        })
+        self.assertEqual(rc, 1)
+        guard = [f for f in findings if f["rule"] == "include-guard"]
+        self.assertEqual([f["path"] for f in guard], ["src/core/bad.hpp"])
+
+    def test_stdout_in_library(self):
+        rc, findings = run_lint({
+            "core/bad.cpp": "#include <cstdio>\n#include <iostream>\n"
+                            "void f() { std::cout << 1; }\n"
+                            'void g() { std::printf("x"); }\n'
+                            'void h() { fprintf(stderr, "x"); }\n'
+        })
+        self.assertEqual(rc, 1)
+        self.assertEqual(
+            len([f for f in findings if f["rule"] == "stdout-in-library"]), 3)
+
+    def test_snprintf_is_fine(self):
+        rc, findings = run_lint({
+            "core/ok.cpp": "#include <cstdio>\n"
+                           "void f(char* b) { std::snprintf(b, 4, \"x\"); }\n"
+        })
+        self.assertEqual(rc, 0, findings)
+
+    def test_catch_by_value(self):
+        rc, findings = run_lint({
+            "core/bad.cpp": "void f() {\n"
+                            "  try { g(); } catch (std::exception e) {}\n"
+                            "}\n"
+        })
+        self.assertEqual(rc, 1)
+        self.assertIn("catch-by-value", rules_of(findings))
+
+    def test_catch_by_reference_and_ellipsis_are_fine(self):
+        rc, findings = run_lint({
+            "core/ok.cpp": "void f() {\n"
+                           "  try { g(); } catch (const std::exception& e) {}\n"
+                           "  try { g(); } catch (...) {}\n"
+                           "}\n"
+        })
+        self.assertEqual(rc, 0, findings)
+
+    def test_comments_and_strings_never_trigger(self):
+        rc, findings = run_lint({
+            "core/ok.cpp": "// std::lgamma(z) is replaced by log_gamma\n"
+                           "/* std::cout << time(NULL) */\n"
+                           'const char* s = "std::rand() time(NULL)";\n'
+        })
+        self.assertEqual(rc, 0, findings)
+
+
+class AllowlistTests(unittest.TestCase):
+    BAD = {"serve/main.cpp": '#include <cstdio>\nint main() { std::printf("x"); }\n'}
+
+    def test_entry_suppresses_named_rule(self):
+        rc, findings = run_lint(
+            self.BAD, allowlist="stdout-in-library src/serve/main.cpp\n")
+        self.assertEqual(rc, 0, findings)
+
+    def test_entry_is_rule_specific(self):
+        rc, findings = run_lint(
+            self.BAD, allowlist="catch-by-value src/serve/main.cpp\n")
+        self.assertEqual(rc, 1)
+
+    def test_entry_is_path_specific(self):
+        rc, findings = run_lint(
+            self.BAD, allowlist="stdout-in-library src/serve/other.cpp\n")
+        self.assertEqual(rc, 1)
+
+    def test_wildcard_rule(self):
+        rc, findings = run_lint(
+            self.BAD, allowlist="* src/serve/main.cpp\n")
+        self.assertEqual(rc, 0, findings)
+
+    def test_comments_and_blanks_ignored(self):
+        rc, findings = run_lint(
+            self.BAD,
+            allowlist="# explanation\n\n"
+                      "stdout-in-library src/serve/main.cpp  # CLI\n")
+        self.assertEqual(rc, 0, findings)
+
+    def test_unknown_rule_id_is_an_error(self):
+        rc, _ = run_lint(self.BAD, allowlist="no-such-rule src/serve/main.cpp\n")
+        self.assertEqual(rc, 2)
+
+
+class StripperTests(unittest.TestCase):
+    def test_preserves_line_structure(self):
+        text = "a\n/* b\nc */ d // e\nf \"g\nh\"\n"
+        stripped = vbsrm_lint.strip_comments_and_strings(text)
+        self.assertEqual(stripped.count("\n"), text.count("\n"))
+
+    def test_escaped_quote_in_string(self):
+        stripped = vbsrm_lint.strip_comments_and_strings(
+            'x = "a\\"b"; std::cout << x;')
+        self.assertIn("std::cout", stripped)
+        self.assertNotIn("a\\\"b", stripped)
+
+
+class RepoTreeTest(unittest.TestCase):
+    def test_real_src_is_clean_under_checked_in_allowlist(self):
+        proc = subprocess.run(
+            [sys.executable, str(LINT), "--root", str(REPO / "src"),
+             "--project-root", str(REPO)],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -380,7 +380,10 @@ TEST(ServeService, BatchRouteRunsTheGrid) {
       R"({"methods":["vb2","VB1"],"levels":[0.9,0.99],)"
       R"("data":{"type":"failure_times","times":[5,12,25,40,60],)"
       R"("observation_end":100},"reliability_windows":[10]})";
-  const serve::Response r = svc.handle(post("/v1/batch", body));
+  // Generous explicit deadline: the grid does real VB fits, and this test
+  // is about ordering/content, not deadline enforcement — a loaded ctest -j
+  // run must not 504 it.
+  const serve::Response r = svc.handle(post("/v1/batch", body, 300000.0));
   ASSERT_EQ(r.status, 200) << r.body;
 
   const json::Value doc = json::parse(r.body);

@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""vbsrm-lint: project-invariant checker for the vbsrm C++ tree.
+
+The reproduction's correctness story depends on invariants no compiler
+enforces: all special-function and randomness calls flow through the
+deterministic wrappers in src/math/specfun.hpp and src/random/, log-space
+weights are combined with math::log_sum_exp instead of naked exp(),
+library code never writes to stdout, and every header is include-guarded.
+This linter greps for violations of that catalog and fails the build
+(it runs as a ctest) unless the hit is listed in the checked-in
+allowlist.
+
+Usage:
+  vbsrm_lint.py [--root DIR]... [--allowlist FILE] [--json] [--list-rules]
+
+Exit status: 0 = clean (or every hit allowlisted), 1 = violations,
+2 = usage error.
+
+Allowlist format (tools/lint/allowlist.txt): one entry per line,
+  <rule-id> <path-suffix> [# comment]
+Blank lines and lines starting with '#' are ignored.  An entry suppresses
+every hit of <rule-id> in any file whose project-relative path ends with
+<path-suffix>.  Keep entries narrow (full relative paths) and commented.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# --- rule catalog -----------------------------------------------------------
+
+# Each rule: id, human message, regex over a comment/string-stripped line,
+# and a predicate over the project-relative posix path saying whether the
+# rule applies to that file at all.
+
+
+def _in_dir(*prefixes: str):
+    def pred(relpath: str) -> bool:
+        return any(relpath.startswith(p) for p in prefixes)
+
+    return pred
+
+
+def _library_code(relpath: str) -> bool:
+    """src/ except the executables (serve_main is a CLI front end)."""
+    return relpath.startswith("src/")
+
+
+RULES = [
+    {
+        "id": "specfun-wrapper",
+        "message": "call std::lgamma/std::tgamma via math::log_gamma "
+                   "(src/math/specfun.hpp); libm gamma functions are not "
+                   "bit-reproducible across platforms",
+        "regex": re.compile(r"(?:std::|[^\w:.])l?tgamma\s*\(|(?:std::|[^\w:.])lgamma\s*\("),
+        "applies": _library_code,
+    },
+    {
+        "id": "random-wrapper",
+        "message": "use random::Rng (src/random/rng.hpp); std::rand/"
+                   "random_device/mt19937 draws are not reproducible",
+        "regex": re.compile(
+            r"std::rand\b|[^\w:.]srand\s*\(|random_device|std::mt19937"),
+        "applies": _library_code,
+    },
+    {
+        "id": "wall-clock-seed",
+        "message": "do not derive state from time(); seeds are explicit "
+                   "(determinism invariant; wall-clock only via "
+                   "std::chrono for latency metrics)",
+        "regex": re.compile(r"[^\w:.]time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+        "applies": _library_code,
+    },
+    {
+        "id": "naked-exp-log-weight",
+        "message": "summing exp(log-weight) overflows/underflows; combine "
+                   "log-space weights with math::log_sum_exp",
+        "regex": re.compile(
+            r"(?:std::|[^\w.])exp\s*\(\s*log_?w(?:eight)?s?\b"),
+        "applies": _library_code,
+    },
+    {
+        "id": "include-guard",
+        "message": "header lacks #pragma once (or a classic include guard)",
+        "regex": None,  # whole-file check, see lint_file
+        "applies": _library_code,
+    },
+    {
+        "id": "stdout-in-library",
+        "message": "no stdout/stderr writes in library code; return values "
+                   "or throw — only CLI front ends print",
+        "regex": re.compile(
+            r"std::cout|std::cerr|(?:std::|[^\w.])\bf?printf\s*\(|std::puts\b"),
+        "applies": _library_code,
+    },
+    {
+        "id": "catch-by-value",
+        "message": "catch exceptions by const reference, not by value "
+                   "(slicing, extra copy)",
+        "regex": re.compile(
+            r"catch\s*\(\s*(?!\.\.\.)[\w:<>]+(?:\s*<[^)]*>)?\s+\w+\s*\)"),
+        "applies": _library_code,
+    },
+]
+
+CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".hh"}
+HEADER_SUFFIXES = {".hpp", ".h", ".hh"}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines.
+
+    A linter that fires on prose in comments is a linter people turn
+    off; the rules only ever see code.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            inner = "".join(ch if ch == "\n" else " " for ch in text[i + 1:j - 1])
+            out.append(quote + inner + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+GUARD_RE = re.compile(
+    r"^\s*#\s*ifndef\s+(\w+)\s*\n\s*#\s*define\s+\1\b", re.MULTILINE)
+
+
+def lint_file(path: Path, relpath: str) -> list[dict]:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        return [{"rule": "io-error", "path": relpath, "line": 0,
+                 "message": str(e), "snippet": ""}]
+    findings = []
+    code = strip_comments_and_strings(text)
+
+    if path.suffix in HEADER_SUFFIXES:
+        rule = next(r for r in RULES if r["id"] == "include-guard")
+        if rule["applies"](relpath) and "#pragma once" not in text \
+                and not GUARD_RE.search(text):
+            findings.append({"rule": "include-guard", "path": relpath,
+                             "line": 1, "message": rule["message"],
+                             "snippet": ""})
+
+    lines = code.splitlines()
+    raw_lines = text.splitlines()
+    for rule in RULES:
+        if rule["regex"] is None or not rule["applies"](relpath):
+            continue
+        for lineno, line in enumerate(lines, start=1):
+            for _ in rule["regex"].finditer(line):
+                findings.append({
+                    "rule": rule["id"],
+                    "path": relpath,
+                    "line": lineno,
+                    "message": rule["message"],
+                    "snippet": raw_lines[lineno - 1].strip()[:160],
+                })
+    return findings
+
+
+# --- allowlist --------------------------------------------------------------
+
+def load_allowlist(path: Path) -> list[tuple[str, str]]:
+    entries = []
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(),
+                                 start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(
+                f"{path}:{lineno}: expected '<rule-id> <path-suffix>', "
+                f"got {raw!r}")
+        rule, suffix = parts
+        if rule != "*" and rule not in {r["id"] for r in RULES}:
+            raise ValueError(f"{path}:{lineno}: unknown rule id {rule!r}")
+        entries.append((rule, suffix))
+    return entries
+
+
+def allowed(finding: dict, entries: list[tuple[str, str]]) -> bool:
+    return any((rule == "*" or rule == finding["rule"])
+               and finding["path"].endswith(suffix)
+               for rule, suffix in entries)
+
+
+# --- driver -----------------------------------------------------------------
+
+def iter_sources(roots: list[Path], project_root: Path):
+    for root in roots:
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in CPP_SUFFIXES or not path.is_file():
+                continue
+            try:
+                rel = path.resolve().relative_to(project_root.resolve())
+            except ValueError:
+                rel = path
+            yield path, rel.as_posix()
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", action="append", default=[],
+                        help="directory to scan (repeatable; default: src)")
+    parser.add_argument("--project-root", default=None,
+                        help="base for relative paths (default: the parent "
+                             "of the first --root)")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist file (default: allowlist.txt next "
+                             "to this script)")
+    parser.add_argument("--no-allowlist", action="store_true",
+                        help="report every hit, suppressing nothing")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable findings on stdout")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule['id']}: {rule['message']}")
+        return 0
+
+    roots = [Path(r) for r in (args.root or ["src"])]
+    for root in roots:
+        if not root.is_dir():
+            print(f"vbsrm-lint: no such directory: {root}", file=sys.stderr)
+            return 2
+    project_root = Path(args.project_root) if args.project_root \
+        else roots[0].parent
+
+    entries: list[tuple[str, str]] = []
+    if not args.no_allowlist:
+        allowlist_path = Path(args.allowlist) if args.allowlist \
+            else Path(__file__).resolve().parent / "allowlist.txt"
+        if allowlist_path.exists():
+            try:
+                entries = load_allowlist(allowlist_path)
+            except ValueError as e:
+                print(f"vbsrm-lint: bad allowlist: {e}", file=sys.stderr)
+                return 2
+
+    findings = []
+    n_files = 0
+    for path, rel in iter_sources(roots, project_root):
+        n_files += 1
+        findings.extend(f for f in lint_file(path, rel)
+                        if not allowed(f, entries))
+
+    if args.as_json:
+        print(json.dumps({"files_scanned": n_files, "findings": findings},
+                         indent=2))
+    else:
+        for f in findings:
+            print(f"{f['path']}:{f['line']}: [{f['rule']}] {f['message']}")
+            if f["snippet"]:
+                print(f"    {f['snippet']}")
+        status = "clean" if not findings else f"{len(findings)} violation(s)"
+        print(f"vbsrm-lint: scanned {n_files} files: {status}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
